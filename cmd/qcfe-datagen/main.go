@@ -1,0 +1,61 @@
+// Command qcfe-datagen materializes a benchmark dataset and prints its
+// physical summary: tables, row counts, page counts, indexes, and
+// per-column statistics — a quick way to inspect the substrate the
+// experiments run on.
+//
+// Usage:
+//
+//	qcfe-datagen -benchmark tpch
+//	qcfe-datagen -benchmark imdb -table title
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/datagen"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "tpch", "benchmark: tpch|sysbench|imdb")
+	table := flag.String("table", "", "restrict output to one table")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	flag.Parse()
+
+	ds, err := datagen.Build(*benchmark, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qcfe-datagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark %s (seed %d)\n\n", ds.Name, *seed)
+	names := ds.Schema.TableNames()
+	for _, name := range names {
+		if *table != "" && name != *table {
+			continue
+		}
+		t := ds.Schema.Table(name)
+		ts := ds.Stats.Table(name)
+		fmt.Printf("table %s: %d rows, %d pages, %d B/row\n", name, ts.RowCount, ts.Pages, t.RowWidth())
+		for _, c := range t.Columns {
+			cs := ts.Columns[c.Name]
+			fmt.Printf("  %-20s %-7s ndv=%-7d null=%.2f", c.Name, c.Type, cs.DistinctVals, cs.NullFrac)
+			if len(cs.HistBounds) > 0 {
+				fmt.Printf(" range=[%d,%d]", cs.Min, cs.Max)
+			}
+			fmt.Println()
+		}
+		var idx []string
+		for _, def := range ds.Schema.Indexes {
+			if def.Table == name {
+				idx = append(idx, fmt.Sprintf("%s(%s)", def.Name, def.Column))
+			}
+		}
+		sort.Strings(idx)
+		if len(idx) > 0 {
+			fmt.Printf("  indexes: %v\n", idx)
+		}
+		fmt.Println()
+	}
+}

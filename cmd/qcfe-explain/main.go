@@ -1,0 +1,58 @@
+// Command qcfe-explain plans and executes one SQL query against a
+// benchmark dataset and prints an EXPLAIN-ANALYZE-style report: the
+// physical plan with estimates and actuals, the simulated latency, the
+// PostgreSQL-style analytic estimate, and the feature-snapshot formula
+// estimate per operator.
+//
+// Usage:
+//
+//	qcfe-explain -benchmark tpch -sql "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 24"
+//	qcfe-explain -benchmark sysbench -env 3 -sql "SELECT * FROM sbtest1 WHERE id = 100"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	qcfe "repro"
+	"repro/internal/dbenv"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "tpch", "benchmark: tpch|sysbench|imdb")
+	sql := flag.String("sql", "", "SQL query to explain (required)")
+	envID := flag.Int("env", -1, "random environment id (-1 = default environment)")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	flag.Parse()
+	if *sql == "" {
+		fmt.Fprintln(os.Stderr, "qcfe-explain: -sql is required")
+		os.Exit(2)
+	}
+
+	bench, err := qcfe.OpenBenchmark(*benchmark, *seed)
+	if err != nil {
+		fail(err)
+	}
+	env := qcfe.DefaultEnvironment()
+	if *envID >= 0 {
+		envs := dbenv.SampleSet(*envID+1, *seed)
+		env = envs[*envID]
+	}
+
+	res, err := bench.Execute(env, *sql)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("environment: %s\n", env)
+	fmt.Printf("query: %s\n\n", *sql)
+	fmt.Print(res.Plan.Explain())
+	fmt.Printf("\nrows returned:        %d\n", res.Rows)
+	fmt.Printf("simulated latency:    %.3f ms\n", res.Ms)
+	fmt.Printf("pg-style estimate:    %.3f ms\n", bench.AnalyticEstimateMs(res.Plan))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "qcfe-explain: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Quickstart: train a QCFE-enhanced MSCN cost estimator on the Sysbench
+// benchmark in a few seconds and compare it against the PostgreSQL-style
+// analytic baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qcfe "repro"
+)
+
+func main() {
+	// 1. Build the benchmark dataset (deterministic per seed).
+	bench, err := qcfe.OpenBenchmark("sysbench", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Sample database environments — knob configurations × hardware,
+	// the paper's "ignored variables".
+	envs := qcfe.RandomEnvironments(4, 1)
+
+	// 3. Collect a labeled workload: oltp_read_only queries executed and
+	// timed in every environment.
+	pool, err := bench.CollectWorkload(envs, 250, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := pool.Split(0.8)
+	fmt.Printf("labeled pool: %d queries across %d environments\n", pool.Len(), len(envs))
+
+	// 4. Train QCFE(mscn): feature snapshot from simplified templates
+	// (Algorithm 1) + difference-propagation feature reduction.
+	est, err := qcfe.NewPipeline("mscn", qcfe.WithTrainIters(200)).Fit(bench, envs, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := est.Evaluate(test)
+	fmt.Printf("QCFE(mscn): mean q-error=%.3f  median=%.3f  pearson=%.3f\n",
+		sum.Mean, sum.Median, sum.Pearson)
+	fmt.Printf("            trained in %.2fs, %0.f%% of features pruned, snapshot cost %.1f ms\n",
+		est.TrainSeconds(), 100*est.ReductionRatio(), est.SnapshotCollectionMs())
+
+	// 5. Estimate the cost of a fresh query without executing it.
+	sql := "SELECT COUNT(*) FROM sbtest1 WHERE id BETWEEN 1000 AND 2000"
+	pred, err := est.EstimateSQL(envs[0], sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual, err := bench.Execute(envs[0], sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery: %s\n", sql)
+	fmt.Printf("predicted %.4f ms, actual %.4f ms (q-error %.2f)\n",
+		pred, actual.Ms, qcfe.QError(actual.Ms, pred))
+	fmt.Printf("pg-style analytic estimate: %.4f ms (q-error %.2f)\n",
+		bench.AnalyticEstimateMs(actual.Plan), qcfe.QError(actual.Ms, bench.AnalyticEstimateMs(actual.Plan)))
+}

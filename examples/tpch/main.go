@@ -1,0 +1,61 @@
+// TPC-H cost estimation: the paper's headline comparison on one benchmark —
+// plain MSCN (general feature engineering) against QCFE(mscn) (feature
+// snapshot + feature reduction), plus the PostgreSQL analytic baseline.
+// Reproduces the shape of one Table IV column group.
+//
+//	go run ./examples/tpch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qcfe "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	bench, err := qcfe.OpenBenchmark("tpch", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	envs := qcfe.RandomEnvironments(6, 1)
+	pool, err := bench.CollectWorkload(envs, 150, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := pool.Split(0.8)
+	fmt.Printf("TPC-H: %d labeled queries, %d environments\n\n", pool.Len(), len(envs))
+
+	// PostgreSQL-style analytic baseline (no learning, no environment
+	// awareness).
+	var actual, pgPred []float64
+	for _, s := range test {
+		actual = append(actual, s.Ms)
+		pgPred = append(pgPred, bench.AnalyticEstimateMs(s.Plan))
+	}
+	pg := metrics.Summarize(actual, pgPred)
+	fmt.Printf("%-12s mean q-error=%10.3f  pearson=%.3f\n", "PGSQL", pg.Mean, pg.Pearson)
+
+	// Plain MSCN: general feature engineering only.
+	plain, err := qcfe.NewPipeline("mscn",
+		qcfe.WithoutSnapshot(), qcfe.WithReduction("none"), qcfe.WithTrainIters(250),
+	).Fit(bench, envs, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps := plain.Evaluate(test)
+	fmt.Printf("%-12s mean q-error=%10.3f  pearson=%.3f  (train %.1fs)\n",
+		"MSCN", ps.Mean, ps.Pearson, plain.TrainSeconds())
+
+	// QCFE(mscn): snapshot from simplified templates + FR reduction.
+	enhanced, err := qcfe.NewPipeline("mscn", qcfe.WithTrainIters(250)).Fit(bench, envs, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs := enhanced.Evaluate(test)
+	fmt.Printf("%-12s mean q-error=%10.3f  pearson=%.3f  (train %.1fs, %0.f%% features pruned)\n",
+		"QCFE(mscn)", qs.Mean, qs.Pearson, enhanced.TrainSeconds(), 100*enhanced.ReductionRatio())
+
+	fmt.Println("\nexpected shape (paper Table IV): learned ≫ PGSQL; QCFE(mscn) ≥ MSCN with less training time")
+}

@@ -1,0 +1,75 @@
+// Package datagen builds the three benchmark datasets the paper evaluates
+// on — TPC-H, IMDB/job-light, and Sysbench — as deterministic synthetic
+// equivalents. Schema shapes, key/foreign-key relationships, value skews,
+// and index placement follow the originals; row counts are scaled down
+// (documented per generator) so the full experiment grid runs in minutes
+// on one machine.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// Dataset bundles everything one benchmark needs: schema, loaded storage,
+// and the statistics registry (which doubles as the paper's data abstract).
+type Dataset struct {
+	Name   string
+	Schema *catalog.Schema
+	DB     *storage.Database
+	Stats  *catalog.Stats
+}
+
+// Build constructs the named dataset ("tpch", "imdb", "sysbench") with the
+// given deterministic seed.
+func Build(name string, seed int64) (*Dataset, error) {
+	switch name {
+	case "tpch":
+		return TPCH(seed), nil
+	case "imdb":
+		return IMDB(seed), nil
+	case "sysbench":
+		return Sysbench(seed), nil
+	}
+	return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// BenchmarkNames lists the supported datasets in paper order.
+func BenchmarkNames() []string { return []string{"tpch", "sysbench", "imdb"} }
+
+// buildStats scans every loaded column and derives its statistics.
+func buildStats(db *storage.Database, rng *rand.Rand) *catalog.Stats {
+	st := catalog.NewStats()
+	for name, heap := range db.Heaps {
+		ts := &catalog.TableStats{
+			RowCount: int64(heap.NumRows()),
+			Pages:    heap.NumPages(),
+			Columns:  make(map[string]*catalog.ColumnStats),
+		}
+		for ci, col := range heap.Table.Columns {
+			vals := make([]catalog.Value, heap.NumRows())
+			for r := 0; r < heap.NumRows(); r++ {
+				vals[r] = heap.Get(r)[ci]
+			}
+			ts.Columns[col.Name] = catalog.BuildColumnStats(vals, rng)
+		}
+		st.Tables[name] = ts
+	}
+	return st
+}
+
+// pick returns a uniformly random element of xs.
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+// randWord builds a short pseudo-word for string columns.
+func randWord(rng *rand.Rand, n int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}

@@ -1,0 +1,155 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("oracle", 1); err == nil {
+		t.Fatalf("unknown dataset should error")
+	}
+}
+
+func TestBuildDispatch(t *testing.T) {
+	for _, name := range BenchmarkNames() {
+		ds, err := Build(name, 1)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if ds.Name != name {
+			t.Fatalf("name = %q, want %q", ds.Name, name)
+		}
+	}
+}
+
+func TestTPCHShape(t *testing.T) {
+	ds := TPCH(1)
+	wantRows := map[string]int{
+		"region": tpchRegions, "nation": tpchNations, "supplier": tpchSuppliers,
+		"customer": tpchCustomers, "part": tpchParts, "partsupp": tpchPartsupp,
+		"orders": tpchOrders, "lineitem": tpchLineitem,
+	}
+	for tab, want := range wantRows {
+		h := ds.DB.Heap(tab)
+		if h == nil || h.NumRows() != want {
+			t.Fatalf("%s rows = %v, want %d", tab, h, want)
+		}
+	}
+	// Referential integrity: every lineitem.l_orderkey exists in orders.
+	lh := ds.DB.Heap("lineitem")
+	ok := ds.DB.Heap("orders").NumRows()
+	oi := lh.Table.ColIndex("l_orderkey")
+	for r := 0; r < lh.NumRows(); r += 97 {
+		key := lh.Get(r)[oi].I
+		if key < 0 || key >= int64(ok) {
+			t.Fatalf("dangling l_orderkey %d", key)
+		}
+	}
+	if len(ds.DB.Indexes) != 13 {
+		t.Fatalf("indexes = %d, want 13", len(ds.DB.Indexes))
+	}
+}
+
+func TestTPCHDeterministic(t *testing.T) {
+	a, b := TPCH(7), TPCH(7)
+	ha, hb := a.DB.Heap("orders"), b.DB.Heap("orders")
+	for r := 0; r < 100; r++ {
+		for c := range ha.Get(r) {
+			if ha.Get(r)[c].Compare(hb.Get(r)[c]) != 0 {
+				t.Fatalf("row %d col %d differs across same-seed builds", r, c)
+			}
+		}
+	}
+}
+
+func TestTPCHStats(t *testing.T) {
+	ds := TPCH(1)
+	cs := ds.Stats.Col("lineitem", "l_quantity")
+	if cs == nil {
+		t.Fatalf("missing stats")
+	}
+	if cs.RowCount != tpchLineitem {
+		t.Fatalf("RowCount = %d", cs.RowCount)
+	}
+	if cs.DistinctVals != 50 {
+		t.Fatalf("l_quantity NDV = %d, want 50", cs.DistinctVals)
+	}
+	if cs.Min != 1 || cs.Max != 50 {
+		t.Fatalf("l_quantity range [%d,%d]", cs.Min, cs.Max)
+	}
+}
+
+func TestIMDBShapeAndSkew(t *testing.T) {
+	ds := IMDB(1)
+	if ds.DB.Heap("title").NumRows() != imdbTitles {
+		t.Fatalf("title rows = %d", ds.DB.Heap("title").NumRows())
+	}
+	// Popularity skew: the most popular movie should own far more
+	// cast_info rows than the uniform share.
+	ch := ds.DB.Heap("cast_info")
+	mi := ch.Table.ColIndex("movie_id")
+	counts := make(map[int64]int)
+	for r := 0; r < ch.NumRows(); r++ {
+		counts[ch.Get(r)[mi].I]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	uniform := imdbCastInfo / imdbTitles
+	if maxCount < 20*uniform {
+		t.Fatalf("skew too weak: max=%d uniform=%d", maxCount, uniform)
+	}
+	// production_year has NULLs.
+	cs := ds.Stats.Col("title", "production_year")
+	if cs.NullFrac <= 0 || cs.NullFrac > 0.15 {
+		t.Fatalf("NullFrac = %v", cs.NullFrac)
+	}
+}
+
+func TestSysbenchShape(t *testing.T) {
+	ds := Sysbench(1)
+	h := ds.DB.Heap("sbtest1")
+	if h.NumRows() != sysbenchRows {
+		t.Fatalf("rows = %d", h.NumRows())
+	}
+	// Dense primary key.
+	idI := h.Table.ColIndex("id")
+	for r := 0; r < 1000; r++ {
+		if h.Get(r)[idI].I != int64(r) {
+			t.Fatalf("id not dense at %d", r)
+		}
+	}
+	// k clusters near the middle of its domain.
+	cs := ds.Stats.Col("sbtest1", "k")
+	mid := int64(sysbenchKMax / 2)
+	if cs.Min > mid || cs.Max < mid {
+		t.Fatalf("k stats look wrong: [%d,%d]", cs.Min, cs.Max)
+	}
+	if _, ok := ds.Schema.IndexOn("sbtest1", "k"); !ok {
+		t.Fatalf("k index missing")
+	}
+}
+
+func TestStatsSelectivitySanity(t *testing.T) {
+	ds := TPCH(1)
+	cs := ds.Stats.Col("orders", "o_orderdate")
+	lo, hi := catalog.IntVal(8036), catalog.IntVal(8036+2556/2)
+	sel := cs.SelectivityRange(&lo, &hi)
+	if sel < 0.4 || sel > 0.6 {
+		t.Fatalf("date half-range selectivity = %v, want ≈0.5", sel)
+	}
+}
+
+func TestRandWordAndPick(t *testing.T) {
+	ds := Sysbench(2)
+	h := ds.DB.Heap("sbtest1")
+	ci := h.Table.ColIndex("c")
+	if got := len(h.Get(0)[ci].S); got != 24 {
+		t.Fatalf("c width = %d", got)
+	}
+}

@@ -1,0 +1,152 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// IMDB row counts at internal scale. The original job-light subset of IMDB
+// joins `title` against five fact tables on movie_id; fact-table ratios
+// mirror the real dataset (cast_info ≈ 14×title, movie_info ≈ 6×title …)
+// scaled so title = 8k rows.
+const (
+	imdbTitles        = 8000
+	imdbMovieInfo     = 48000
+	imdbCastInfo      = 96000
+	imdbMovieKeyword  = 36000
+	imdbMovieCompany  = 20000
+	imdbMovieInfoIdx  = 11000
+	imdbKindMax       = 7   // title.kind_id domain
+	imdbInfoTypeMax   = 110 // movie_info.info_type_id domain
+	imdbRoleMax       = 11  // cast_info.role_id domain
+	imdbCompTypeMax   = 4   // movie_companies.company_type_id domain
+	imdbCompanyMax    = 2000
+	imdbKeywordMax    = 5000
+	imdbPersonMax     = 40000
+	imdbYearLo        = 1930
+	imdbYearHi        = 2017
+	imdbProdYearNullP = 0.05
+
+	// Popularity skew: a small hot set of blockbuster movies receives a
+	// disproportionate share of fact rows. The share is bounded (unlike an
+	// unbounded Zipf) so that multi-way join cardinalities stay within the
+	// range real job-light queries produce rather than exploding
+	// quadratically on one mega-popular key.
+	imdbHotMovies = 80
+	imdbHotShare  = 0.3
+)
+
+// IMDBSchema returns the six-table job-light schema with the standard
+// primary-key and movie_id foreign-key indexes.
+func IMDBSchema() *catalog.Schema {
+	s := catalog.NewSchema("imdb")
+	s.AddTable(catalog.NewTable("title",
+		catalog.Column{Name: "id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "kind_id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "production_year", Type: catalog.IntCol, Width: 8},
+	))
+	s.AddTable(catalog.NewTable("movie_info",
+		catalog.Column{Name: "id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "movie_id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "info_type_id", Type: catalog.IntCol, Width: 8},
+	))
+	s.AddTable(catalog.NewTable("cast_info",
+		catalog.Column{Name: "id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "movie_id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "person_id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "role_id", Type: catalog.IntCol, Width: 8},
+	))
+	s.AddTable(catalog.NewTable("movie_keyword",
+		catalog.Column{Name: "id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "movie_id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "keyword_id", Type: catalog.IntCol, Width: 8},
+	))
+	s.AddTable(catalog.NewTable("movie_companies",
+		catalog.Column{Name: "id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "movie_id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "company_id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "company_type_id", Type: catalog.IntCol, Width: 8},
+	))
+	s.AddTable(catalog.NewTable("movie_info_idx",
+		catalog.Column{Name: "id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "movie_id", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "info_type_id", Type: catalog.IntCol, Width: 8},
+	))
+	for _, ix := range []catalog.IndexDef{
+		{Name: "pk_title", Table: "title", Column: "id", Unique: true},
+		{Name: "idx_title_year", Table: "title", Column: "production_year"},
+		{Name: "idx_mi_movie", Table: "movie_info", Column: "movie_id"},
+		{Name: "idx_ci_movie", Table: "cast_info", Column: "movie_id"},
+		{Name: "idx_mk_movie", Table: "movie_keyword", Column: "movie_id"},
+		{Name: "idx_mc_movie", Table: "movie_companies", Column: "movie_id"},
+		{Name: "idx_mii_movie", Table: "movie_info_idx", Column: "movie_id"},
+	} {
+		s.AddIndex(ix)
+	}
+	return s
+}
+
+// IMDB generates the job-light dataset with skewed movie popularity: a hot
+// set of blockbuster movies owns a bounded but disproportionate share of
+// fact rows, as in the real IMDB, which is what makes job-light
+// cardinalities hard for naive estimators.
+func IMDB(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	s := IMDBSchema()
+	db := storage.NewDatabase(s)
+
+	for i := 0; i < imdbTitles; i++ {
+		year := catalog.IntVal(imdbYearLo + rng.Int63n(imdbYearHi-imdbYearLo+1))
+		if rng.Float64() < imdbProdYearNullP {
+			year = catalog.NullVal()
+		}
+		db.Heap("title").Append(catalog.Row{
+			catalog.IntVal(int64(i)),
+			catalog.IntVal(1 + rng.Int63n(imdbKindMax)),
+			year,
+		})
+	}
+	movieID := func() catalog.Value {
+		if rng.Float64() < imdbHotShare {
+			return catalog.IntVal(rng.Int63n(imdbHotMovies))
+		}
+		return catalog.IntVal(rng.Int63n(imdbTitles))
+	}
+
+	for i := 0; i < imdbMovieInfo; i++ {
+		db.Heap("movie_info").Append(catalog.Row{
+			catalog.IntVal(int64(i)), movieID(),
+			catalog.IntVal(1 + rng.Int63n(imdbInfoTypeMax)),
+		})
+	}
+	for i := 0; i < imdbCastInfo; i++ {
+		db.Heap("cast_info").Append(catalog.Row{
+			catalog.IntVal(int64(i)), movieID(),
+			catalog.IntVal(rng.Int63n(imdbPersonMax)),
+			catalog.IntVal(1 + rng.Int63n(imdbRoleMax)),
+		})
+	}
+	for i := 0; i < imdbMovieKeyword; i++ {
+		db.Heap("movie_keyword").Append(catalog.Row{
+			catalog.IntVal(int64(i)), movieID(),
+			catalog.IntVal(rng.Int63n(imdbKeywordMax)),
+		})
+	}
+	for i := 0; i < imdbMovieCompany; i++ {
+		db.Heap("movie_companies").Append(catalog.Row{
+			catalog.IntVal(int64(i)), movieID(),
+			catalog.IntVal(rng.Int63n(imdbCompanyMax)),
+			catalog.IntVal(1 + rng.Int63n(imdbCompTypeMax)),
+		})
+	}
+	for i := 0; i < imdbMovieInfoIdx; i++ {
+		db.Heap("movie_info_idx").Append(catalog.Row{
+			catalog.IntVal(int64(i)), movieID(),
+			catalog.IntVal(1 + rng.Int63n(imdbInfoTypeMax)),
+		})
+	}
+	db.BuildIndexes()
+	return &Dataset{Name: "imdb", Schema: s, DB: db, Stats: buildStats(db, rng)}
+}

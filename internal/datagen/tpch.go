@@ -1,0 +1,189 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// TPC-H row counts at the internal scale (≈SF 0.01, ratios preserved from
+// the spec: lineitem ≈ 4×orders, partsupp = 4×part, customer = 10×orders/15).
+const (
+	tpchRegions   = 5
+	tpchNations   = 25
+	tpchSuppliers = 100
+	tpchCustomers = 1500
+	tpchParts     = 2000
+	tpchPartsupp  = 4 * tpchParts
+	tpchOrders    = 15000
+	tpchLineitem  = 60000
+)
+
+// Segment / priority / shipmode vocabularies from the TPC-H spec.
+var (
+	tpchSegments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	tpchPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	tpchShipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	tpchFlags      = []string{"A", "N", "R"}
+	tpchStatus     = []string{"O", "F", "P"}
+)
+
+// TPCHSchema returns the eight-table TPC-H schema with the standard primary
+// and foreign-key indexes.
+func TPCHSchema() *catalog.Schema {
+	s := catalog.NewSchema("tpch")
+	s.AddTable(catalog.NewTable("region",
+		catalog.Column{Name: "r_regionkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "r_name", Type: catalog.StringCol, Width: 16},
+	))
+	s.AddTable(catalog.NewTable("nation",
+		catalog.Column{Name: "n_nationkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "n_name", Type: catalog.StringCol, Width: 16},
+		catalog.Column{Name: "n_regionkey", Type: catalog.IntCol, Width: 8},
+	))
+	s.AddTable(catalog.NewTable("supplier",
+		catalog.Column{Name: "s_suppkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "s_name", Type: catalog.StringCol, Width: 20},
+		catalog.Column{Name: "s_nationkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "s_acctbal", Type: catalog.FloatCol, Width: 8},
+	))
+	s.AddTable(catalog.NewTable("customer",
+		catalog.Column{Name: "c_custkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "c_name", Type: catalog.StringCol, Width: 20},
+		catalog.Column{Name: "c_nationkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "c_acctbal", Type: catalog.FloatCol, Width: 8},
+		catalog.Column{Name: "c_mktsegment", Type: catalog.StringCol, Width: 12},
+	))
+	s.AddTable(catalog.NewTable("part",
+		catalog.Column{Name: "p_partkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "p_name", Type: catalog.StringCol, Width: 36},
+		catalog.Column{Name: "p_brand", Type: catalog.StringCol, Width: 12},
+		catalog.Column{Name: "p_size", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "p_retailprice", Type: catalog.FloatCol, Width: 8},
+	))
+	s.AddTable(catalog.NewTable("partsupp",
+		catalog.Column{Name: "ps_partkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "ps_suppkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "ps_availqty", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "ps_supplycost", Type: catalog.FloatCol, Width: 8},
+	))
+	s.AddTable(catalog.NewTable("orders",
+		catalog.Column{Name: "o_orderkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "o_custkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "o_orderstatus", Type: catalog.StringCol, Width: 4},
+		catalog.Column{Name: "o_totalprice", Type: catalog.FloatCol, Width: 8},
+		catalog.Column{Name: "o_orderdate", Type: catalog.DateCol, Width: 8},
+		catalog.Column{Name: "o_orderpriority", Type: catalog.StringCol, Width: 16},
+	))
+	s.AddTable(catalog.NewTable("lineitem",
+		catalog.Column{Name: "l_orderkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "l_partkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "l_suppkey", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "l_quantity", Type: catalog.IntCol, Width: 8},
+		catalog.Column{Name: "l_extendedprice", Type: catalog.FloatCol, Width: 8},
+		catalog.Column{Name: "l_discount", Type: catalog.FloatCol, Width: 8},
+		catalog.Column{Name: "l_shipdate", Type: catalog.DateCol, Width: 8},
+		catalog.Column{Name: "l_returnflag", Type: catalog.StringCol, Width: 4},
+		catalog.Column{Name: "l_shipmode", Type: catalog.StringCol, Width: 12},
+	))
+
+	for _, ix := range []catalog.IndexDef{
+		{Name: "pk_region", Table: "region", Column: "r_regionkey", Unique: true},
+		{Name: "pk_nation", Table: "nation", Column: "n_nationkey", Unique: true},
+		{Name: "pk_supplier", Table: "supplier", Column: "s_suppkey", Unique: true},
+		{Name: "pk_customer", Table: "customer", Column: "c_custkey", Unique: true},
+		{Name: "pk_part", Table: "part", Column: "p_partkey", Unique: true},
+		{Name: "idx_partsupp_pk", Table: "partsupp", Column: "ps_partkey"},
+		{Name: "idx_partsupp_sk", Table: "partsupp", Column: "ps_suppkey"},
+		{Name: "pk_orders", Table: "orders", Column: "o_orderkey", Unique: true},
+		{Name: "idx_orders_ck", Table: "orders", Column: "o_custkey"},
+		{Name: "idx_orders_date", Table: "orders", Column: "o_orderdate"},
+		{Name: "idx_lineitem_ok", Table: "lineitem", Column: "l_orderkey"},
+		{Name: "idx_lineitem_pk", Table: "lineitem", Column: "l_partkey"},
+		{Name: "idx_lineitem_sd", Table: "lineitem", Column: "l_shipdate"},
+	} {
+		s.AddIndex(ix)
+	}
+	return s
+}
+
+// TPCH generates the full dataset deterministically from seed.
+func TPCH(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	s := TPCHSchema()
+	db := storage.NewDatabase(s)
+
+	for i := 0; i < tpchRegions; i++ {
+		db.Heap("region").Append(catalog.Row{
+			catalog.IntVal(int64(i)), catalog.StrVal(randWord(rng, 8)),
+		})
+	}
+	for i := 0; i < tpchNations; i++ {
+		db.Heap("nation").Append(catalog.Row{
+			catalog.IntVal(int64(i)), catalog.StrVal(randWord(rng, 10)),
+			catalog.IntVal(int64(i % tpchRegions)),
+		})
+	}
+	for i := 0; i < tpchSuppliers; i++ {
+		db.Heap("supplier").Append(catalog.Row{
+			catalog.IntVal(int64(i)), catalog.StrVal("Supplier#" + randWord(rng, 6)),
+			catalog.IntVal(rng.Int63n(tpchNations)),
+			catalog.FloatVal(rng.Float64()*11000 - 1000),
+		})
+	}
+	for i := 0; i < tpchCustomers; i++ {
+		db.Heap("customer").Append(catalog.Row{
+			catalog.IntVal(int64(i)), catalog.StrVal("Customer#" + randWord(rng, 6)),
+			catalog.IntVal(rng.Int63n(tpchNations)),
+			catalog.FloatVal(rng.Float64()*11000 - 1000),
+			catalog.StrVal(pick(rng, tpchSegments)),
+		})
+	}
+	for i := 0; i < tpchParts; i++ {
+		db.Heap("part").Append(catalog.Row{
+			catalog.IntVal(int64(i)), catalog.StrVal(randWord(rng, 12)),
+			catalog.StrVal("Brand#" + string('1'+byte(rng.Intn(5))) + string('1'+byte(rng.Intn(5)))),
+			catalog.IntVal(1 + rng.Int63n(50)),
+			catalog.FloatVal(900 + rng.Float64()*1100),
+		})
+	}
+	for p := 0; p < tpchParts; p++ {
+		for j := 0; j < tpchPartsupp/tpchParts; j++ {
+			db.Heap("partsupp").Append(catalog.Row{
+				catalog.IntVal(int64(p)),
+				catalog.IntVal(rng.Int63n(tpchSuppliers)),
+				catalog.IntVal(1 + rng.Int63n(9999)),
+				catalog.FloatVal(1 + rng.Float64()*999),
+			})
+		}
+	}
+	// Dates span 1992-01-01..1998-12-31 as day offsets.
+	const dateLo, dateSpan = 8036, 2556
+	for i := 0; i < tpchOrders; i++ {
+		db.Heap("orders").Append(catalog.Row{
+			catalog.IntVal(int64(i)),
+			catalog.IntVal(rng.Int63n(tpchCustomers)),
+			catalog.StrVal(pick(rng, tpchStatus)),
+			catalog.FloatVal(1000 + rng.Float64()*450000),
+			catalog.IntVal(dateLo + rng.Int63n(dateSpan)),
+			catalog.StrVal(pick(rng, tpchPriorities)),
+		})
+	}
+	for i := 0; i < tpchLineitem; i++ {
+		orderkey := rng.Int63n(tpchOrders)
+		db.Heap("lineitem").Append(catalog.Row{
+			catalog.IntVal(orderkey),
+			catalog.IntVal(rng.Int63n(tpchParts)),
+			catalog.IntVal(rng.Int63n(tpchSuppliers)),
+			catalog.IntVal(1 + rng.Int63n(50)),
+			catalog.FloatVal(900 + rng.Float64()*104000),
+			catalog.FloatVal(rng.Float64() * 0.1),
+			catalog.IntVal(dateLo + rng.Int63n(dateSpan+120)),
+			catalog.StrVal(pick(rng, tpchFlags)),
+			catalog.StrVal(pick(rng, tpchShipmodes)),
+		})
+	}
+	db.BuildIndexes()
+	return &Dataset{Name: "tpch", Schema: s, DB: db, Stats: buildStats(db, rng)}
+}

@@ -1,0 +1,182 @@
+package dbenv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultEnvironment(t *testing.T) {
+	e := Default()
+	if e.Knobs.SharedBuffersMB <= 0 || e.HW.Name == "" {
+		t.Fatalf("default env incomplete: %v", e)
+	}
+	if !e.Knobs.EnableIndexScan {
+		t.Fatalf("default should allow index scans")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, ok := ProfileByName("vm-hdd")
+	if !ok || p.SeqReadMBps != 160 {
+		t.Fatalf("ProfileByName(vm-hdd) = %v, %v", p, ok)
+	}
+	if _, ok := ProfileByName("ghost"); ok {
+		t.Fatalf("unknown profile should miss")
+	}
+}
+
+func TestRandomEnvironmentsDeterministic(t *testing.T) {
+	a := SampleSet(20, 42)
+	b := SampleSet(20, 42)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("env %d differs across same-seed samples", i)
+		}
+	}
+	c := SampleSet(20, 43)
+	same := 0
+	for i := range a {
+		if a[i].String() == c[i].String() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("different seeds produced identical environment sets")
+	}
+}
+
+func TestRandomAlwaysHasJoinMethod(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		e := Random(i, rng)
+		if !e.Knobs.EnableHashJoin && !e.Knobs.EnableMergeJoin && !e.Knobs.EnableNestLoop {
+			t.Fatalf("env %d has no join method enabled", i)
+		}
+	}
+}
+
+func TestCacheEffects(t *testing.T) {
+	e := Default()
+	small := e.SeqPageCost(10)      // fully cached
+	large := e.SeqPageCost(5000000) // mostly misses
+	if small >= large {
+		t.Fatalf("cached scan should be cheaper: small=%v large=%v", small, large)
+	}
+}
+
+func TestRandomVsSequential(t *testing.T) {
+	// On spinning disk, random pages must be far more expensive.
+	e := &Environment{Knobs: DefaultKnobs(), HW: Profiles[3], Format: HeapBTree}
+	rel := int64(10_000_000) // big enough to defeat the cache
+	if ratio := e.RandPageCost(rel) / e.SeqPageCost(rel); ratio < 10 {
+		t.Fatalf("HDD rand/seq ratio = %v, want ≫10", ratio)
+	}
+}
+
+func TestLSMAmplification(t *testing.T) {
+	heap := &Environment{Knobs: DefaultKnobs(), HW: Profiles[0], Format: HeapBTree}
+	lsm := &Environment{Knobs: DefaultKnobs(), HW: Profiles[0], Format: LSM}
+	rel := int64(1_000_000)
+	if lsm.RandPageCost(rel) <= heap.RandPageCost(rel) {
+		t.Fatalf("LSM random reads should be amplified")
+	}
+	if lsm.SeqPageCost(rel) <= heap.SeqPageCost(rel) {
+		t.Fatalf("LSM scans should pay merge overhead")
+	}
+}
+
+func TestJITReducesTupleCost(t *testing.T) {
+	base := Default()
+	jit := Default()
+	jit.Knobs.JIT = true
+	if jit.TupleCost() >= base.TupleCost() {
+		t.Fatalf("JIT should reduce per-tuple CPU")
+	}
+}
+
+func TestSpillPasses(t *testing.T) {
+	e := Default()
+	e.Knobs.WorkMemKB = 1024 // 1MB
+	if p := e.SpillPasses(512 * 1024); p != 0 {
+		t.Fatalf("fits in work_mem but passes = %d", p)
+	}
+	if p := e.SpillPasses(2 * 1024 * 1024); p != 1 {
+		t.Fatalf("2x overflow passes = %d, want 1", p)
+	}
+	if p := e.SpillPasses(16 * 1024 * 1024); p != 4 {
+		t.Fatalf("16x overflow passes = %d, want 4", p)
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	e := Default()
+	if e.ParallelSpeedup() != 1 {
+		t.Fatalf("no workers should mean speedup 1")
+	}
+	e.Knobs.ParallelWorkers = 4
+	if s := e.ParallelSpeedup(); s <= 1 || s > 5 {
+		t.Fatalf("speedup = %v", s)
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	e := Default()
+	if e.Noise(7) != e.Noise(7) {
+		t.Fatalf("noise must be deterministic per (env, seq)")
+	}
+	if e.Noise(7) == e.Noise(8) {
+		t.Fatalf("noise should vary across queries")
+	}
+	e.NoiseStd = 0
+	if e.Noise(1) != 1 {
+		t.Fatalf("zero σ should disable noise")
+	}
+}
+
+func TestEnvironmentSpread(t *testing.T) {
+	// The premise of Figure 1: the same workload's cost varies ≥2× across
+	// environments. Check the coefficient spread directly.
+	envs := SampleSet(20, 1)
+	rel := int64(200_000)
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, e := range envs {
+		c := e.SeqPageCost(rel) + 100*e.TupleCost()
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max/min < 2 {
+		t.Fatalf("environment cost spread %.2fx, want ≥2x", max/min)
+	}
+}
+
+// Property: all cost accessors are strictly positive and finite for any
+// sampled environment and relation size.
+func TestCostsPositive(t *testing.T) {
+	f := func(seed int64, relRaw int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := Random(0, rng)
+		rel := relRaw % 10_000_000
+		if rel < 0 {
+			rel = -rel
+		}
+		vals := []float64{
+			e.SeqPageCost(rel), e.RandPageCost(rel), e.TupleCost(),
+			e.IdxTupleCost(), e.OperatorCost(), e.ParallelSpeedup(),
+		}
+		for _, v := range vals {
+			if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package encoding
+
+import (
+	"repro/internal/featred"
+	"repro/internal/planner"
+	"repro/internal/snapshot"
+)
+
+// Featurizer composes the three stages of QCFE's feature pipeline for one
+// plan node: the general encoding (always), the feature-snapshot block
+// (when a snapshot is attached — the FS of §III), and the feature-reduction
+// mask (when attached — the FR of §IV). Models consume nodes exclusively
+// through a Featurizer, so plugging QCFE into QPPNet or MSCN is just a
+// matter of which fields are set.
+type Featurizer struct {
+	Enc *Encoder
+	// Snaps maps environment ID → that environment's feature snapshot.
+	// Nodes select their snapshot through their EnvID tag. nil disables
+	// the snapshot block entirely (the "general FE" baseline).
+	Snaps map[int]*snapshot.Snapshot
+	Mask  []bool // optional; length must equal RawDim
+}
+
+// RawDim is the unmasked feature width (encoding + snapshot block).
+func (f *Featurizer) RawDim() int {
+	d := f.Enc.Dim()
+	if f.Snaps != nil {
+		d += snapshot.FeatureDim
+	}
+	return d
+}
+
+// Dim is the final model input width after masking.
+func (f *Featurizer) Dim() int {
+	if f.Mask == nil {
+		return f.RawDim()
+	}
+	return featred.CountKept(f.Mask)
+}
+
+// Raw returns the unmasked feature vector for one node.
+func (f *Featurizer) Raw(n *planner.Node) []float64 {
+	v := f.Enc.EncodeNode(n)
+	if f.Snaps != nil {
+		if s := f.Snaps[n.EnvID]; s != nil {
+			v = append(v, s.Features(n)...)
+		} else {
+			v = append(v, make([]float64, snapshot.FeatureDim)...)
+		}
+	}
+	return v
+}
+
+// Node returns the final (masked) feature vector for one node.
+func (f *Featurizer) Node(n *planner.Node) []float64 {
+	v := f.Raw(n)
+	if f.Mask != nil {
+		return featred.Apply(f.Mask, v)
+	}
+	return v
+}
+
+// Names labels the raw feature dimensions.
+func (f *Featurizer) Names() []string {
+	names := f.Enc.FeatureNames()
+	if f.Snaps != nil {
+		names = append(names, snapshot.FeatureNames()...)
+	}
+	return names
+}

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/planner"
+	"repro/internal/sqlparse"
+)
+
+func benchRun(b *testing.B, sql string) {
+	b.Helper()
+	env := quietEnv()
+	pl := planner.New(tpch.Schema, tpch.Stats, env.Knobs)
+	ex := New(tpch.DB, env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node, err := pl.Plan(sqlparse.MustParse(sql))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ex.Execute(node); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeqScanFilter(b *testing.B) {
+	benchRun(b, "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 24")
+}
+
+func BenchmarkIndexPointLookup(b *testing.B) {
+	benchRun(b, "SELECT * FROM orders WHERE o_orderkey = 4242")
+}
+
+func BenchmarkHashJoinOrdersLineitem(b *testing.B) {
+	benchRun(b, "SELECT COUNT(*) FROM orders JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey WHERE o_totalprice > 300000")
+}
+
+func BenchmarkSortTopN(b *testing.B) {
+	benchRun(b, "SELECT * FROM orders WHERE o_totalprice > 400000 ORDER BY o_totalprice DESC LIMIT 10")
+}
+
+func BenchmarkAggregateGroupBy(b *testing.B) {
+	benchRun(b, "SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_quantity < 30 GROUP BY l_returnflag")
+}

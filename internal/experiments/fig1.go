@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"repro/internal/dbenv"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/planner"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+// Fig1Cell is the average cost of the probe workload under one environment.
+type Fig1Cell struct {
+	Benchmark string
+	EnvID     int
+	AvgMs     float64
+}
+
+// Figure1 reproduces the paper's Figure 1: the average cost of 1000 queries
+// in TPCH and Sysbench under five database environments, demonstrating the
+// 2–3× spread that motivates the feature snapshot.
+func (s *Suite) Figure1() ([]Fig1Cell, error) {
+	v, err := s.memo("fig1", func() (any, error) { return s.figure1Impl() })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Fig1Cell), nil
+}
+
+func (s *Suite) figure1Impl() ([]Fig1Cell, error) {
+	const queries = 1000
+	envs := dbenv.SampleSet(5, s.P.Seed+17)
+	var out []Fig1Cell
+	s.printf("Figure 1: average query cost (ms) of %d queries under 5 environments\n", queries)
+	for _, bench := range []string{"tpch", "sysbench"} {
+		ds := s.Dataset(bench)
+		for _, env := range envs {
+			gen := workload.NewGenerator(ds, s.P.Seed+int64(env.ID))
+			sqls, err := gen.Generate(workload.TemplatesFor(bench), queries)
+			if err != nil {
+				return nil, err
+			}
+			pl := planner.New(ds.Schema, ds.Stats, env.Knobs)
+			ex := engine.New(ds.DB, env)
+			var times []float64
+			for _, sql := range sqls {
+				q, err := sqlparse.Parse(sql)
+				if err != nil {
+					continue
+				}
+				node, err := pl.Plan(q)
+				if err != nil {
+					continue
+				}
+				res, err := ex.Execute(node)
+				if err != nil {
+					continue
+				}
+				times = append(times, res.TotalMs)
+			}
+			cell := Fig1Cell{Benchmark: bench, EnvID: env.ID, AvgMs: metrics.Mean(times)}
+			out = append(out, cell)
+			s.printf("  %-9s env#%d  avg=%.3f ms\n", bench, env.ID, cell.AvgMs)
+		}
+	}
+	return out, nil
+}
+
+// Fig1Spread summarizes max/min average cost per benchmark — the paper's
+// "2 times in TPCH and 3 times in Sysbench" observation.
+func Fig1Spread(cells []Fig1Cell) map[string]float64 {
+	min := map[string]float64{}
+	max := map[string]float64{}
+	for _, c := range cells {
+		if v, ok := min[c.Benchmark]; !ok || c.AvgMs < v {
+			min[c.Benchmark] = c.AvgMs
+		}
+		if v, ok := max[c.Benchmark]; !ok || c.AvgMs > v {
+			max[c.Benchmark] = c.AvgMs
+		}
+	}
+	out := map[string]float64{}
+	for b := range min {
+		if min[b] > 0 {
+			out[b] = max[b] / min[b]
+		}
+	}
+	return out
+}

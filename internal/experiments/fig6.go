@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig6Row is one ablation arm of Figure 6 on one benchmark.
+type Fig6Row struct {
+	Benchmark string
+	Variant   string // FSO, FST, FSO+FR, FSO+GD, FSO+Greedy
+	MeanQ     float64
+	Median    float64
+	P90       float64
+	Pearson   float64
+}
+
+// fig6Scale is the labeled-set size of the paper's ablation (Figure 6 uses
+// scale = 4000); shrunk automatically when the pool is smaller.
+const fig6Scale = 4000
+
+// Figure6 reproduces the ablation study: the QPPNet model under five QCFE
+// design choices — snapshot from original queries (FSO), snapshot from
+// simplified templates (FST), and FSO combined with the three reduction
+// methods (FR, GD, Greedy).
+func (s *Suite) Figure6(benchmark string) ([]Fig6Row, error) {
+	v, err := s.memo("fig6:"+benchmark, func() (any, error) { return s.figure6Impl(benchmark) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Fig6Row), nil
+}
+
+func (s *Suite) figure6Impl(benchmark string) ([]Fig6Row, error) {
+	pool, err := s.Pool(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	scale := fig6Scale
+	if len(pool.Samples) < scale {
+		scale = len(pool.Samples)
+	}
+	train, test := workload.Split(pool.Scale(scale), 0.8)
+	ds := s.Dataset(benchmark)
+	iters := s.trainIters(benchmark)
+
+	variants := []struct {
+		name      string
+		mode      core.SnapshotMode
+		reduction core.ReductionMethod
+	}{
+		{"FSO", core.FSO, core.ReduceNone},
+		{"FST", core.FST, core.ReduceNone},
+		{"FSO+FR", core.FSO, core.ReduceFR},
+		{"FSO+GD", core.FSO, core.ReduceGD},
+		{"FSO+Greedy", core.FSO, core.ReduceGreedy},
+	}
+	// FSO snapshots are shared by four variants; build once.
+	fsoCfg := core.DefaultConfig("qppnet")
+	fsoCfg.SnapshotMode = core.FSO
+	fsoCfg.Seed = s.P.Seed
+	fsoSnaps, fsoMs, err := core.BuildSnapshots(ds, s.Envs(), fsoCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Fig6Row
+	s.printf("Figure 6 (%s, scale=%d, qppnet): ablation of QCFE design choices\n", benchmark, scale)
+	for _, v := range variants {
+		cfg := core.DefaultConfig("qppnet")
+		cfg.SnapshotMode = v.mode
+		cfg.Reduction = v.reduction
+		cfg.TrainIters = iters
+		cfg.Seed = s.P.Seed
+		if v.mode == core.FSO {
+			cfg.Prebuilt = fsoSnaps
+			cfg.PrebuiltMs = fsoMs
+		}
+		res, err := core.Run(ds, s.Envs(), train, cfg)
+		if err != nil {
+			return nil, err
+		}
+		qe := core.QErrors(res.Model, test)
+		sum := core.Evaluate(res.Model, test)
+		row := Fig6Row{
+			Benchmark: benchmark, Variant: v.name,
+			MeanQ:   sum.Mean,
+			Median:  metrics.Percentile(qe, 50),
+			P90:     metrics.Percentile(qe, 90),
+			Pearson: sum.Pearson,
+		}
+		out = append(out, row)
+		s.printf("  %-10s mean=%.3f median=%.3f p90=%.3f pearson=%.3f\n",
+			row.Variant, row.MeanQ, row.Median, row.P90, row.Pearson)
+	}
+	return out, nil
+}

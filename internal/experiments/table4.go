@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pgcost"
+	"repro/internal/workload"
+)
+
+// Table4Row is one cell group of the paper's Table IV: a (benchmark, model,
+// scale) triple with its pearson coefficient, mean q-error, and training
+// time.
+type Table4Row struct {
+	Benchmark string
+	Model     string // PGSQL, MSCN, QPPNet, QCFE(mscn), QCFE(qpp)
+	Scale     int
+	Pearson   float64
+	MeanQ     float64
+	TrainSec  float64
+	// QErrors keeps the per-query test q-errors for Figure 5's box plots.
+	QErrors []float64
+}
+
+// table4Methods lists the five compared methods in paper order.
+var table4Methods = []string{"PGSQL", "QCFE(mscn)", "QCFE(qpp)", "MSCN", "QPPNet"}
+
+// Table4 reproduces the paper's Table IV for one benchmark: the
+// time-accuracy efficiency of PGSQL, MSCN, QPPNet, QCFE(mscn), and
+// QCFE(qpp) across labeled-set scales. The returned rows also carry the
+// per-query q-errors, which Figure5 consumes.
+func (s *Suite) Table4(benchmark string) ([]Table4Row, error) {
+	s.mu.Lock()
+	cached := s.t4cache[benchmark]
+	s.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	pool, err := s.Pool(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	snaps, snapMs, err := s.Snapshots(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	ds := s.Dataset(benchmark)
+	iters := s.trainIters(benchmark)
+	var rows []Table4Row
+	s.printf("Table IV (%s): pearson / mean q-error / training time\n", benchmark)
+	for _, scale := range s.P.Scales {
+		train, test := workload.Split(pool.Scale(scale), 0.8)
+		for _, method := range table4Methods {
+			row := Table4Row{Benchmark: benchmark, Model: method, Scale: scale}
+			switch method {
+			case "PGSQL":
+				start := time.Now()
+				model := pgcost.New(ds.Stats)
+				actual := make([]float64, len(test))
+				pred := make([]float64, len(test))
+				qe := make([]float64, len(test))
+				for i, smp := range test {
+					actual[i] = smp.Ms
+					pred[i] = model.EstimateMs(smp.Plan)
+					qe[i] = metrics.QError(actual[i], pred[i])
+				}
+				sum := metrics.Summarize(actual, pred)
+				row.Pearson, row.MeanQ = sum.Pearson, sum.Mean
+				row.TrainSec = time.Since(start).Seconds()
+				row.QErrors = qe
+			default:
+				cfg, useQCFE := methodConfig(method)
+				cfg.TrainIters = iters
+				cfg.Seed = s.P.Seed
+				if useQCFE {
+					cfg.Prebuilt = snaps
+					cfg.PrebuiltMs = snapMs
+				}
+				res, err := core.Run(ds, s.Envs(), train, cfg)
+				if err != nil {
+					return nil, err
+				}
+				sum := core.Evaluate(res.Model, test)
+				row.Pearson, row.MeanQ = sum.Pearson, sum.Mean
+				row.TrainSec = res.TrainTime.Seconds() + res.ReductionTime.Seconds()
+				row.QErrors = core.QErrors(res.Model, test)
+			}
+			rows = append(rows, row)
+			s.printf("  scale=%-6d %-11s pearson=%.3f mean=%.3f time=%.2fs\n",
+				scale, method, row.Pearson, row.MeanQ, row.TrainSec)
+		}
+	}
+	s.mu.Lock()
+	s.t4cache[benchmark] = rows
+	s.mu.Unlock()
+	return rows, nil
+}
+
+// methodConfig maps a Table IV method name to its pipeline configuration;
+// the bool reports whether the method uses the QCFE snapshot+reduction.
+func methodConfig(method string) (core.Config, bool) {
+	switch method {
+	case "QCFE(mscn)":
+		return core.DefaultConfig("mscn"), true
+	case "QCFE(qpp)":
+		return core.DefaultConfig("qppnet"), true
+	case "MSCN":
+		cfg := core.DefaultConfig("mscn")
+		cfg.UseSnapshot = false
+		cfg.Reduction = core.ReduceNone
+		return cfg, false
+	case "QPPNet":
+		cfg := core.DefaultConfig("qppnet")
+		cfg.UseSnapshot = false
+		cfg.Reduction = core.ReduceNone
+		return cfg, false
+	}
+	panic("experiments: unknown method " + method)
+}
+
+// Fig5Row is one box of Figure 5: the q-error quartiles of one method at
+// one scale on one benchmark.
+type Fig5Row struct {
+	Benchmark string
+	Model     string
+	Scale     int
+	P25       float64
+	Median    float64
+	P75       float64
+	P90       float64
+}
+
+// Figure5 reproduces the q-error variance box plots of Figure 5 from the
+// Table IV runs (box boundaries at the 25th/50th/75th percentiles).
+func (s *Suite) Figure5(benchmark string) ([]Fig5Row, error) {
+	v, err := s.memo("fig5:"+benchmark, func() (any, error) { return s.figure5Impl(benchmark) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Fig5Row), nil
+}
+
+func (s *Suite) figure5Impl(benchmark string) ([]Fig5Row, error) {
+	rows, err := s.Table4(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig5Row
+	s.printf("Figure 5 (%s): q-error quartiles\n", benchmark)
+	for _, r := range rows {
+		if r.Model == "PGSQL" {
+			continue // the paper's Figure 5 plots the learned estimators
+		}
+		f := Fig5Row{
+			Benchmark: r.Benchmark, Model: r.Model, Scale: r.Scale,
+			P25:    metrics.Percentile(r.QErrors, 25),
+			Median: metrics.Percentile(r.QErrors, 50),
+			P75:    metrics.Percentile(r.QErrors, 75),
+			P90:    metrics.Percentile(r.QErrors, 90),
+		}
+		out = append(out, f)
+		s.printf("  scale=%-6d %-11s p25=%.3f p50=%.3f p75=%.3f p90=%.3f\n",
+			f.Scale, f.Model, f.P25, f.Median, f.P75, f.P90)
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Table5Row is one cell of the paper's Table V: the q-error and snapshot
+// collection cost of FSO versus FST at a given template scale.
+type Table5Row struct {
+	Benchmark    string
+	Variant      string // "FSO" or "FST(scale)"
+	Scale        int    // template scale (0 for FSO)
+	MeanQ        float64
+	CollectionMs float64 // simulated labeling cost of the snapshot
+}
+
+// Table5 reproduces the template-scale robustness study: on TPC-H and
+// job-light, the FSO snapshot (original queries) is compared with FST
+// snapshots at increasing template scales; FST should reach FSO-level
+// q-error at a fraction of the collection cost.
+func (s *Suite) Table5(benchmark string, scales []int) ([]Table5Row, error) {
+	key := fmt.Sprintf("table5:%s:%v", benchmark, scales)
+	v, err := s.memo(key, func() (any, error) { return s.table5Impl(benchmark, scales) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Table5Row), nil
+}
+
+func (s *Suite) table5Impl(benchmark string, scales []int) ([]Table5Row, error) {
+	pool, err := s.Pool(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	n := fig6Scale
+	if len(pool.Samples) < n {
+		n = len(pool.Samples)
+	}
+	train, test := workload.Split(pool.Scale(n), 0.8)
+	ds := s.Dataset(benchmark)
+	iters := s.trainIters(benchmark)
+
+	runWith := func(variant string, mode core.SnapshotMode, tscale int) (Table5Row, error) {
+		cfg := core.DefaultConfig("qppnet")
+		cfg.SnapshotMode = mode
+		cfg.TemplateScale = tscale
+		cfg.Reduction = core.ReduceNone
+		cfg.TrainIters = iters
+		cfg.Seed = s.P.Seed
+		res, err := core.Run(ds, s.Envs(), train, cfg)
+		if err != nil {
+			return Table5Row{}, err
+		}
+		sum := core.Evaluate(res.Model, test)
+		return Table5Row{
+			Benchmark: benchmark, Variant: variant, Scale: tscale,
+			MeanQ: sum.Mean, CollectionMs: res.SnapshotMs,
+		}, nil
+	}
+
+	var out []Table5Row
+	s.printf("Table V (%s): FSO vs FST template scales (mean q-error / collection cost)\n", benchmark)
+	row, err := runWith("FSO", core.FSO, 0)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, row)
+	s.printf("  %-8s mean=%.3f collect=%.1f ms\n", row.Variant, row.MeanQ, row.CollectionMs)
+	for _, ts := range scales {
+		row, err := runWith("FST", core.FST, ts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+		s.printf("  FST(%d)   mean=%.3f collect=%.1f ms\n", ts, row.MeanQ, row.CollectionMs)
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dbenv"
+	"repro/internal/encoding"
+	"repro/internal/snapshot"
+	"repro/internal/workload"
+)
+
+// Table7Row is one cell of the paper's Table VII: a model variant evaluated
+// on the new hardware environment h2.
+type Table7Row struct {
+	Benchmark string
+	Model     string // basis, trans-FSO, trans-FST
+	Pearson   float64
+	MeanQ     float64
+	TimeSec   float64 // training (basis) or retraining (transfer) time
+}
+
+// Fig8Series is one convergence curve of Figure 8.
+type Fig8Series struct {
+	Benchmark string
+	Model     string // "direct" or "transfer"
+	Curve     []float64
+}
+
+// transferSetup collects the h2 environment's labeled data: 2000 training
+// and 500 test queries, per the paper's §V-E.
+func (s *Suite) transferSetup(benchmark string) (*dbenv.Environment, []workload.Sample, []workload.Sample, error) {
+	h2 := &dbenv.Environment{
+		ID:       1000 + s.P.NumEnvs,
+		Knobs:    dbenv.DefaultKnobs(),
+		Format:   dbenv.HeapBTree,
+		NoiseStd: 0.02,
+	}
+	h2.HW, _ = dbenv.ProfileByName("i7-12700h-nvme")
+	ds := s.Dataset(benchmark)
+	total := 2500
+	if s.P.PerEnv[benchmark] < 200 {
+		total = 250 // quick mode
+	}
+	lab, err := workload.Collect(ds, []*dbenv.Environment{h2}, total, s.P.Seed+555)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	train, test := workload.Split(lab.Samples, 0.8)
+	return h2, train, test, nil
+}
+
+// Table7 reproduces the transferability study: a basis model trained at the
+// largest scale on the original environment set is transferred to the new
+// hardware h2 by swapping the snapshot (FSO or FST) and retraining briefly;
+// the transfer variants should approach the accuracy of a model trained
+// from scratch on h2 at a fraction of the time.
+func (s *Suite) Table7(benchmark string) ([]Table7Row, error) {
+	v, err := s.memo("table7:"+benchmark, func() (any, error) { return s.table7Impl(benchmark) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Table7Row), nil
+}
+
+func (s *Suite) table7Impl(benchmark string) ([]Table7Row, error) {
+	pool, err := s.Pool(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	snaps, snapMs, err := s.Snapshots(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	ds := s.Dataset(benchmark)
+	iters := s.trainIters(benchmark)
+	maxScale := s.P.Scales[len(s.P.Scales)-1]
+	basisTrain, _ := workload.Split(pool.Scale(maxScale), 0.8)
+
+	h2, h2train, h2test, err := s.transferSetup(benchmark)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := core.DefaultConfig("qppnet")
+	cfg.TrainIters = iters
+	cfg.Seed = s.P.Seed
+	cfg.Prebuilt = snaps
+	cfg.PrebuiltMs = snapMs
+	basis, err := core.Run(ds, s.Envs(), basisTrain, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Table7Row
+	s.printf("Table VII (%s): transferability to new hardware h2\n", benchmark)
+
+	// "basis": a model trained directly on h2's labeled data from scratch.
+	directCfg := cfg
+	directCfg.Prebuilt = nil
+	directCfg.PrebuiltMs = 0
+	direct, err := core.Run(ds, []*dbenv.Environment{h2}, h2train, directCfg)
+	if err != nil {
+		return nil, err
+	}
+	sum := core.Evaluate(direct.Model, h2test)
+	out = append(out, Table7Row{Benchmark: benchmark, Model: "basis",
+		Pearson: sum.Pearson, MeanQ: sum.Mean, TimeSec: direct.TrainTime.Seconds()})
+
+	// Transfer with FSO and FST snapshots, retraining for 25% of the
+	// basis iteration budget (the paper retrains 200 of 800 iterations).
+	retrain := iters / 4
+	if retrain < 1 {
+		retrain = 1
+	}
+	for _, mode := range []core.SnapshotMode{core.FSO, core.FST} {
+		tcfg := cfg
+		tcfg.Prebuilt = nil
+		tcfg.PrebuiltMs = 0
+		tcfg.SnapshotMode = mode
+		trans, err := core.Transfer(basis, ds, h2, h2train, tcfg, retrain)
+		if err != nil {
+			return nil, err
+		}
+		sum := core.Evaluate(trans.Model, h2test)
+		name := "trans-FSO"
+		if mode == core.FST {
+			name = "trans-FST"
+		}
+		out = append(out, Table7Row{Benchmark: benchmark, Model: name,
+			Pearson: sum.Pearson, MeanQ: sum.Mean, TimeSec: trans.RetrainTime.Seconds()})
+	}
+	for _, r := range out {
+		s.printf("  %-10s pearson=%.3f mean=%.3f time=%.2fs\n", r.Model, r.Pearson, r.MeanQ, r.TimeSec)
+	}
+	return out, nil
+}
+
+// Figure8 reproduces the convergence comparison: test q-error versus
+// training iteration for a model trained directly on h2 against a
+// transferred basis model, which should reach comparable accuracy in ~25%
+// of the iterations.
+func (s *Suite) Figure8(benchmark string) ([]Fig8Series, error) {
+	v, err := s.memo("fig8:"+benchmark, func() (any, error) { return s.figure8Impl(benchmark) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Fig8Series), nil
+}
+
+func (s *Suite) figure8Impl(benchmark string) ([]Fig8Series, error) {
+	pool, err := s.Pool(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	snaps, snapMs, err := s.Snapshots(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	ds := s.Dataset(benchmark)
+	iters := s.trainIters(benchmark)
+	maxScale := s.P.Scales[len(s.P.Scales)-1]
+	basisTrain, _ := workload.Split(pool.Scale(maxScale), 0.8)
+	h2, h2train, h2test, err := s.transferSetup(benchmark)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := core.DefaultConfig("qppnet")
+	cfg.TrainIters = iters
+	cfg.Seed = s.P.Seed
+	cfg.Prebuilt = snaps
+	cfg.PrebuiltMs = snapMs
+	basis, err := core.Run(ds, s.Envs(), basisTrain, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	chunk := iters / 8
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	// Direct: fresh model on h2 data.
+	h2cfg := cfg
+	h2cfg.Prebuilt = nil
+	h2cfg.PrebuiltMs = 0
+	h2snaps, _, err := core.BuildSnapshots(ds, []*dbenv.Environment{h2}, h2cfg)
+	if err != nil {
+		return nil, err
+	}
+	freshF := basisFeaturizerWith(basis, h2snaps)
+	fresh, err := core.NewEstimator("qppnet", freshF, s.P.Seed+9)
+	if err != nil {
+		return nil, err
+	}
+	directCurve := core.TrainCurve(fresh, h2train, h2test, iters, chunk)
+
+	// Transfer: clone basis, swap snapshot, continue training.
+	trans, err := core.Transfer(basis, ds, h2, h2train, h2cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	transferCurve := core.TrainCurve(trans.Model, h2train, h2test, iters, chunk)
+
+	out := []Fig8Series{
+		{Benchmark: benchmark, Model: "direct", Curve: directCurve},
+		{Benchmark: benchmark, Model: "transfer", Curve: transferCurve},
+	}
+	s.printf("Figure 8 (%s): q-error vs iteration (chunk=%d)\n", benchmark, chunk)
+	for _, series := range out {
+		s.printf("  %-8s %v\n", series.Model, formatCurve(series.Curve))
+	}
+	return out, nil
+}
+
+// basisFeaturizerWith rebuilds the basis featurizer against a different
+// snapshot set (same mask, same encoder) — used to give the from-scratch
+// "direct" model the identical feature space the transfer model sees.
+func basisFeaturizerWith(basis *core.Result, snaps map[int]*snapshot.Snapshot) *encoding.Featurizer {
+	return &encoding.Featurizer{Enc: basis.F.Enc, Snaps: snaps, Mask: basis.F.Mask}
+}
+
+// formatCurve renders a q-error curve compactly.
+func formatCurve(curve []float64) string {
+	out := "["
+	for i, v := range curve {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.3f", v)
+	}
+	return out + "]"
+}

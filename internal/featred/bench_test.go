@@ -1,0 +1,30 @@
+package featred
+
+import "testing"
+
+func BenchmarkDiffPropScores(b *testing.B) {
+	d := syntheticData(400, 40, 8, 1)
+	m := TrainProbe(d, 32, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DiffPropScores(m, d.X, 50, 1)
+	}
+}
+
+func BenchmarkGradientScores(b *testing.B) {
+	d := syntheticData(400, 40, 8, 1)
+	m := TrainProbe(d, 32, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GradientScores(m, d.X)
+	}
+}
+
+func BenchmarkGreedyReduce(b *testing.B) {
+	d := syntheticData(200, 20, 5, 1)
+	m := TrainProbe(d, 16, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyReduce(m, d)
+	}
+}

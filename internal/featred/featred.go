@@ -1,0 +1,324 @@
+// Package featred implements the paper's §IV feature reduction for
+// AI-driven query cost estimators: given operator-level labeled data and a
+// learned cost model, decide which input dimensions are useless and prune
+// them before training the production model.
+//
+// Three methods are provided, matching the ablation of Figure 6:
+//
+//   - Greedy (Algorithm 2): iteratively drop the feature whose removal most
+//     improves q-error; polynomial but blind to feature co-relations.
+//   - Gradient (GD): expected |∂y/∂x_k| via backprop; cheap but broken by
+//     one-hot (discrete) inputs and ReLU gradient vanishing.
+//   - Difference propagation (FR, Algorithm 3 / Equation 1): expected
+//     absolute difference-quotient multipliers against a sampled reference
+//     set R, propagated layer by layer (the DeepLIFT rescale rule the paper
+//     cites); robust to both failure modes above.
+package featred
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/nn"
+)
+
+// Dataset is operator-level labeled data: one feature vector and one
+// metrics.LogMs cost target per operator occurrence.
+type Dataset struct {
+	X     [][]float64
+	Y     []float64 // metrics.LogMs(milliseconds)
+	Names []string  // feature names, len == dim
+}
+
+// Dim returns the feature dimensionality.
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Subsample returns a dataset view with at most n examples (deterministic
+// per seed); used to bound the cost of greedy's quadratic evaluation loop.
+func (d *Dataset) Subsample(n int, seed int64) *Dataset {
+	if len(d.X) <= n {
+		return d
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(d.X))[:n]
+	out := &Dataset{Names: d.Names}
+	for _, i := range idx {
+		out.X = append(out.X, d.X[i])
+		out.Y = append(out.Y, d.Y[i])
+	}
+	return out
+}
+
+// TrainProbe fits the small MLP ("the learned cost model M" of Algorithms
+// 2–3) that the reduction methods interrogate. Input features are used
+// as-is; the target is metrics.LogMs(ms).
+func TrainProbe(d *Dataset, hidden, epochs int, seed int64) *nn.MLP {
+	rng := rand.New(rand.NewSource(seed))
+	m := nn.NewMLP([]int{d.Dim(), hidden, hidden, 1}, rng)
+	opt := nn.NewAdam(0.005)
+	layers := nn.LayersOf(m)
+	n := len(d.X)
+	if n == 0 {
+		return m
+	}
+	const batch = 32
+	for ep := 0; ep < epochs; ep++ {
+		for b := 0; b < n; b += batch {
+			sz := 0
+			for i := b; i < b+batch && i < n; i++ {
+				j := rng.Intn(n)
+				y, c := m.Forward(d.X[j])
+				diff := y[0] - d.Y[j]
+				m.Backward(c, []float64{2 * diff})
+				sz++
+			}
+			opt.Step(layers, sz)
+		}
+	}
+	return m
+}
+
+// QErrorOf evaluates the model's mean q-error on the dataset with an
+// optional feature mask applied (nil = all features kept). Predictions and
+// targets are de-logged first, per the paper's Equation 2.
+func QErrorOf(m *nn.MLP, d *Dataset, mask []bool) float64 {
+	if len(d.X) == 0 {
+		return 0
+	}
+	var sum float64
+	buf := make([]float64, d.Dim())
+	for i, x := range d.X {
+		in := x
+		if mask != nil {
+			copy(buf, x)
+			for k, keep := range mask {
+				if !keep {
+					buf[k] = 0
+				}
+			}
+			in = buf
+		}
+		pred := metrics.UnlogMs(m.Predict(in)[0])
+		actual := metrics.UnlogMs(d.Y[i])
+		sum += metrics.QError(actual, pred)
+	}
+	return sum / float64(len(d.X))
+}
+
+// GreedyReduce is the paper's Algorithm 2: starting from all features,
+// repeatedly drop the single feature whose masking most lowers mean
+// q-error; stop when no single drop helps. Returns the keep-mask.
+func GreedyReduce(m *nn.MLP, d *Dataset) []bool {
+	dim := d.Dim()
+	mask := make([]bool, dim)
+	for i := range mask {
+		mask[i] = true
+	}
+	cmin := QErrorOf(m, d, mask)
+	for {
+		drop := -1
+		c := cmin
+		for f := 0; f < dim; f++ {
+			if !mask[f] {
+				continue
+			}
+			mask[f] = false
+			cf := QErrorOf(m, d, mask)
+			mask[f] = true
+			if cf < c {
+				c, drop = cf, f
+			}
+		}
+		if drop < 0 {
+			return mask
+		}
+		mask[drop] = false
+		cmin = c
+	}
+}
+
+// GradientScores is the GD baseline: the expected absolute input gradient
+// E|∂y/∂x_k| over the dataset. One-hot dimensions and dead-ReLU regions
+// yield zero gradients, which is precisely the failure mode §IV-B
+// describes.
+func GradientScores(m *nn.MLP, X [][]float64) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	scores := make([]float64, len(X[0]))
+	for _, x := range X {
+		g := m.InputGradient(x, 0)
+		for k, v := range g {
+			scores[k] += math.Abs(v)
+		}
+	}
+	for k := range scores {
+		scores[k] /= float64(len(X))
+	}
+	return scores
+}
+
+// DiffPropScores implements Equation 1: for every (sample, reference) pair
+// it propagates difference-quotient multipliers from the output back to
+// the inputs through the cached layer activations, and averages their
+// absolute values per dimension. References are sampled from the data
+// itself (Algorithm 3 line 1).
+func DiffPropScores(m *nn.MLP, X [][]float64, nRef int, seed int64) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if nRef > len(X) {
+		nRef = len(X)
+	}
+	refIdx := rng.Perm(len(X))[:nRef]
+	refs := make([]*nn.Cache, nRef)
+	for i, ri := range refIdx {
+		_, refs[i] = m.Forward(X[ri])
+	}
+	dim := len(X[0])
+	scores := make([]float64, dim)
+	var pairs float64
+	for _, x := range X {
+		_, cx := m.Forward(x)
+		for _, cr := range refs {
+			mult := diffMultipliers(m, cx, cr)
+			ref := cr.Act[0]
+			// Contribution form: multiplier × Δx. A dimension that never
+			// differs from the references (an unused table/index one-hot,
+			// a constant knob) contributes exactly zero and is reduced —
+			// Equation 1's Δx_k denominator cancels against it.
+			for k := 0; k < dim; k++ {
+				scores[k] += math.Abs(mult[k] * (x[k] - ref[k]))
+			}
+			pairs++
+		}
+	}
+	for k := range scores {
+		scores[k] /= pairs
+	}
+	return scores
+}
+
+// diffMultipliers computes the input multipliers Δy/Δx_k for one pair via
+// the rescale rule: linear layers propagate exactly (Wᵀ), ReLU layers
+// scale by Δa/Δz (falling back to the local derivative when Δz ≈ 0). This
+// is the well-defined form of the telescoping product in Equation 1.
+func diffMultipliers(m *nn.MLP, cx, cr *nn.Cache) []float64 {
+	g := []float64{1} // multiplier at the scalar output
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		if li < len(m.Layers)-1 {
+			zx, zr := cx.Pre[li], cr.Pre[li]
+			ax, ar := cx.Act[li+1], cr.Act[li+1]
+			scaled := make([]float64, len(g))
+			for i := range g {
+				dz := zx[i] - zr[i]
+				if math.Abs(dz) > 1e-9 {
+					scaled[i] = g[i] * (ax[i] - ar[i]) / dz
+				} else if zx[i] > 0 {
+					scaled[i] = g[i] // ReLU derivative 1 on the active side
+				}
+			}
+			g = scaled
+		}
+		l := m.Layers[li]
+		dx := make([]float64, l.In)
+		for o := 0; o < l.Out; o++ {
+			if g[o] == 0 {
+				continue
+			}
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i := range row {
+				dx[i] += g[o] * row[i]
+			}
+		}
+		g = dx
+	}
+	return g
+}
+
+// MaskFromScores turns importance scores into a keep-mask: a feature is
+// kept when its score exceeds threshold·max(score). The paper's Algorithm 3
+// keeps score > 0; the relative threshold is the numerical form of that
+// cut under float noise.
+func MaskFromScores(scores []float64, threshold float64) []bool {
+	var max float64
+	for _, s := range scores {
+		if s > max {
+			max = s
+		}
+	}
+	mask := make([]bool, len(scores))
+	for i, s := range scores {
+		mask[i] = s > threshold*max
+	}
+	return mask
+}
+
+// Apply projects x down to the kept dimensions.
+func Apply(mask []bool, x []float64) []float64 {
+	out := make([]float64, 0, len(x))
+	for i, keep := range mask {
+		if keep {
+			out = append(out, x[i])
+		}
+	}
+	return out
+}
+
+// ApplyAll projects a whole matrix.
+func ApplyAll(mask []bool, X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		out[i] = Apply(mask, x)
+	}
+	return out
+}
+
+// CountKept returns the number of surviving features.
+func CountKept(mask []bool) int {
+	n := 0
+	for _, k := range mask {
+		if k {
+			n++
+		}
+	}
+	return n
+}
+
+// ReductionRatio returns the dropped fraction.
+func ReductionRatio(mask []bool) float64 {
+	if len(mask) == 0 {
+		return 0
+	}
+	return 1 - float64(CountKept(mask))/float64(len(mask))
+}
+
+// DroppedNames lists the names of pruned features (for Figure 7 output).
+func DroppedNames(mask []bool, names []string) []string {
+	var out []string
+	for i, keep := range mask {
+		if !keep && i < len(names) {
+			out = append(out, names[i])
+		}
+	}
+	return out
+}
+
+// Validate checks mask/width consistency before models apply them.
+func Validate(mask []bool, dim int) error {
+	if len(mask) != dim {
+		return fmt.Errorf("featred: mask width %d != feature dim %d", len(mask), dim)
+	}
+	if CountKept(mask) == 0 {
+		return fmt.Errorf("featred: mask removes every feature")
+	}
+	return nil
+}

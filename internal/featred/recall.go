@@ -1,0 +1,128 @@
+package featred
+
+import (
+	"math"
+)
+
+// This file implements the recall mechanism the paper's §IV discussion and
+// conclusion propose for dynamic workloads: "our work could flexibly extend
+// to dynamic workloads by designing a recall algorithm according to the
+// inherent value of input features … with the workload changes (50% read,
+// 50% write), the partial index features are effective for estimating the
+// cost of read queries."
+//
+// The idea: a reduced feature may be worthless for the *current* workload
+// but still carry inherent value — it could matter under a different query
+// mix. The recall algorithm watches the live operator stream and re-adds a
+// pruned dimension when its observed activity departs from the
+// distribution the mask was computed on.
+
+// FeatureActivity summarizes one dimension's behaviour over a window of
+// operator feature vectors.
+type FeatureActivity struct {
+	Mean    float64
+	Var     float64
+	NonZero float64 // fraction of samples where the dimension is non-zero
+}
+
+// ActivityOf computes the per-dimension activity over a sample window.
+func ActivityOf(X [][]float64) []FeatureActivity {
+	if len(X) == 0 {
+		return nil
+	}
+	dim := len(X[0])
+	out := make([]FeatureActivity, dim)
+	inv := 1 / float64(len(X))
+	for k := 0; k < dim; k++ {
+		var sum, nz float64
+		for _, x := range X {
+			sum += x[k]
+			if x[k] != 0 {
+				nz++
+			}
+		}
+		mean := sum * inv
+		var v float64
+		for _, x := range X {
+			d := x[k] - mean
+			v += d * d
+		}
+		out[k] = FeatureActivity{Mean: mean, Var: v * inv, NonZero: nz * inv}
+	}
+	return out
+}
+
+// Recall monitors a reduction mask against workload drift. It is created
+// from the operator dataset the mask was fitted on; Observe windows of new
+// operator vectors and returns the dimensions whose activity shifted enough
+// to justify recalling them into the feature set.
+type Recall struct {
+	baseline []FeatureActivity
+	mask     []bool
+
+	// NonZeroDelta is the minimum increase in non-zero fraction that
+	// recalls a pruned dimension (default 0.05): a feature that was
+	// constant when pruned but now varies carries new information.
+	NonZeroDelta float64
+	// MeanSigma is the z-score of mean shift that recalls a pruned
+	// dimension (default 3).
+	MeanSigma float64
+}
+
+// NewRecall builds a monitor from the fitting-time dataset and mask.
+func NewRecall(fitX [][]float64, mask []bool) *Recall {
+	return &Recall{
+		baseline:     ActivityOf(fitX),
+		mask:         append([]bool(nil), mask...),
+		NonZeroDelta: 0.05,
+		MeanSigma:    3,
+	}
+}
+
+// Mask returns the current (possibly recalled) keep-mask.
+func (r *Recall) Mask() []bool { return append([]bool(nil), r.mask...) }
+
+// Observe inspects a window of fresh operator vectors and recalls pruned
+// dimensions whose behaviour drifted. It returns the indices recalled by
+// this window (empty when the workload looks stationary).
+func (r *Recall) Observe(window [][]float64) []int {
+	if len(window) == 0 || len(r.baseline) == 0 {
+		return nil
+	}
+	current := ActivityOf(window)
+	var recalled []int
+	for k, keep := range r.mask {
+		if keep || k >= len(current) {
+			continue
+		}
+		base, cur := r.baseline[k], current[k]
+		drifted := false
+		// A dimension that was (near-)constant and now varies.
+		if cur.NonZero-base.NonZero > r.NonZeroDelta {
+			drifted = true
+		}
+		// A mean shift far outside the fitting-time spread.
+		std := math.Sqrt(base.Var)
+		if std == 0 {
+			std = 1e-9
+		}
+		if math.Abs(cur.Mean-base.Mean)/std > r.MeanSigma {
+			drifted = true
+		}
+		if drifted {
+			r.mask[k] = true
+			recalled = append(recalled, k)
+		}
+	}
+	return recalled
+}
+
+// Stationary reports whether the last Observe-style comparison would
+// recall nothing — a cheap health check callers can use to decide whether
+// retraining is warranted.
+func (r *Recall) Stationary(window [][]float64) bool {
+	saved := append([]bool(nil), r.mask...)
+	recalled := r.Observe(window)
+	r.mask = saved
+	return len(recalled) == 0
+}

@@ -1,0 +1,108 @@
+package featred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// readWorkload simulates operator vectors where dimension 2 (an "index
+// one-hot") is always zero — a write-only workload never uses the index.
+func readWorkload(n int, indexActive bool, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		x := []float64{rng.Float64(), rng.Float64() * 2, 0, rng.Float64()}
+		if indexActive && rng.Float64() < 0.5 {
+			x[2] = 1
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func TestActivityOf(t *testing.T) {
+	X := [][]float64{{1, 0}, {3, 0}, {5, 0}}
+	act := ActivityOf(X)
+	if act[0].Mean != 3 {
+		t.Fatalf("mean = %v", act[0].Mean)
+	}
+	if act[0].NonZero != 1 || act[1].NonZero != 0 {
+		t.Fatalf("non-zero fractions wrong: %+v", act)
+	}
+	if ActivityOf(nil) != nil {
+		t.Fatalf("empty input should yield nil")
+	}
+}
+
+func TestRecallOnWorkloadShift(t *testing.T) {
+	// Fit-time: write-only workload, index dim constant → pruned.
+	fitX := readWorkload(500, false, 1)
+	mask := []bool{true, true, false, true} // dim 2 pruned
+	r := NewRecall(fitX, mask)
+
+	// Stationary window: nothing recalled.
+	if got := r.Observe(readWorkload(200, false, 2)); len(got) != 0 {
+		t.Fatalf("stationary window recalled %v", got)
+	}
+	// The workload shifts to 50% reads: index dim becomes active.
+	recalled := r.Observe(readWorkload(200, true, 3))
+	if len(recalled) != 1 || recalled[0] != 2 {
+		t.Fatalf("recalled = %v, want [2]", recalled)
+	}
+	if !r.Mask()[2] {
+		t.Fatalf("mask not updated")
+	}
+	// Idempotent: already-recalled dims are not reported again.
+	if got := r.Observe(readWorkload(200, true, 4)); len(got) != 0 {
+		t.Fatalf("re-recalled %v", got)
+	}
+}
+
+func TestRecallMeanShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fitX := make([][]float64, 300)
+	for i := range fitX {
+		fitX[i] = []float64{rng.NormFloat64(), 10 + rng.NormFloat64()*0.1}
+	}
+	mask := []bool{true, false}
+	r := NewRecall(fitX, mask)
+	// Same distribution: no recall.
+	same := make([][]float64, 100)
+	for i := range same {
+		same[i] = []float64{rng.NormFloat64(), 10 + rng.NormFloat64()*0.1}
+	}
+	if got := r.Observe(same); len(got) != 0 {
+		t.Fatalf("false recall: %v", got)
+	}
+	// Mean of the pruned dim jumps by 50σ.
+	shifted := make([][]float64, 100)
+	for i := range shifted {
+		shifted[i] = []float64{rng.NormFloat64(), 15 + rng.NormFloat64()*0.1}
+	}
+	if got := r.Observe(shifted); len(got) != 1 {
+		t.Fatalf("mean shift not detected: %v", got)
+	}
+}
+
+func TestStationaryDoesNotMutate(t *testing.T) {
+	fitX := readWorkload(300, false, 6)
+	mask := []bool{true, true, false, true}
+	r := NewRecall(fitX, mask)
+	if !r.Stationary(readWorkload(100, false, 7)) {
+		t.Fatalf("stationary window misclassified")
+	}
+	if r.Stationary(readWorkload(100, true, 8)) {
+		t.Fatalf("shifted window misclassified")
+	}
+	// Stationary must not modify the live mask.
+	if r.Mask()[2] {
+		t.Fatalf("Stationary mutated the mask")
+	}
+}
+
+func TestRecallEmptyWindow(t *testing.T) {
+	r := NewRecall(readWorkload(50, false, 9), []bool{true, true, false, true})
+	if got := r.Observe(nil); got != nil {
+		t.Fatalf("empty window recalled %v", got)
+	}
+}

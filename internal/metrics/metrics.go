@@ -1,0 +1,157 @@
+// Package metrics implements the evaluation metrics used throughout the
+// paper's §V: q-error (Eq. 2), Pearson correlation (Eq. 3), and the
+// percentile/variance summaries reported in Table IV and Figures 5–6.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// LogMs maps a latency in milliseconds to the training-target space:
+// log1p of the value in microseconds. The µs rescale matters because OLTP
+// point reads run in single-digit µs while OLAP scans run in tens of ms —
+// in raw log1p(ms) space the former all collapse to ≈0 and the regression
+// loss ignores them.
+func LogMs(ms float64) float64 {
+	if ms < 0 {
+		ms = 0
+	}
+	return math.Log1p(ms * 1000)
+}
+
+// UnlogMs inverts LogMs back to milliseconds (clamped non-negative).
+func UnlogMs(y float64) float64 {
+	v := math.Expm1(y) / 1000
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// QError returns max(actual/predict, predict/actual) as defined by the
+// paper's Equation 2. Values are clamped away from zero so that degenerate
+// predictions yield a large-but-finite error instead of ±Inf, matching the
+// treatment in the QPPNet and MSCN reference implementations.
+func QError(actual, predict float64) float64 {
+	const eps = 1e-6
+	a := math.Max(math.Abs(actual), eps)
+	p := math.Max(math.Abs(predict), eps)
+	if a > p {
+		return a / p
+	}
+	return p / a
+}
+
+// QErrors computes the element-wise q-error of two equally long slices.
+func QErrors(actual, predict []float64) []float64 {
+	if len(actual) != len(predict) {
+		panic("metrics: length mismatch")
+	}
+	out := make([]float64, len(actual))
+	for i := range actual {
+		out[i] = QError(actual[i], predict[i])
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Pearson returns the Pearson correlation coefficient between actual and
+// predicted values (the paper's Equation 3). It returns 0 when either
+// series has zero variance.
+func Pearson(actual, predict []float64) float64 {
+	if len(actual) != len(predict) || len(actual) == 0 {
+		return 0
+	}
+	ma, mp := Mean(actual), Mean(predict)
+	var cov, va, vp float64
+	for i := range actual {
+		da, dp := actual[i]-ma, predict[i]-mp
+		cov += da * dp
+		va += da * da
+		vp += dp * dp
+	}
+	if va == 0 || vp == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vp)
+}
+
+// Summary bundles the statistics reported for one experimental cell.
+type Summary struct {
+	Mean     float64 // mean q-error
+	P25      float64
+	Median   float64
+	P75      float64
+	P90      float64
+	P95      float64
+	Max      float64
+	Variance float64
+	Pearson  float64 // correlation between actual and predicted cost
+}
+
+// Summarize computes the full Summary for a set of actual/predicted costs.
+func Summarize(actual, predict []float64) Summary {
+	qe := QErrors(actual, predict)
+	return Summary{
+		Mean:     Mean(qe),
+		P25:      Percentile(qe, 25),
+		Median:   Percentile(qe, 50),
+		P75:      Percentile(qe, 75),
+		P90:      Percentile(qe, 90),
+		P95:      Percentile(qe, 95),
+		Max:      Percentile(qe, 100),
+		Variance: Variance(qe),
+		Pearson:  Pearson(actual, predict),
+	}
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQErrorSymmetry(t *testing.T) {
+	cases := []struct {
+		a, p, want float64
+	}{
+		{100, 100, 1},
+		{100, 50, 2},
+		{50, 100, 2},
+		{10, 1, 10},
+		{1, 10, 10},
+	}
+	for _, c := range cases {
+		if got := QError(c.a, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("QError(%v,%v) = %v, want %v", c.a, c.p, got, c.want)
+		}
+	}
+}
+
+func TestQErrorClampsZero(t *testing.T) {
+	got := QError(1, 0)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("QError(1,0) = %v, want finite", got)
+	}
+	if got < 1e3 {
+		t.Fatalf("QError(1,0) = %v, want large", got)
+	}
+}
+
+func TestQErrorsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	QErrors([]float64{1}, []float64{1, 2})
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatalf("empty input should yield 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatalf("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	if got := Pearson(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	c := []float64{40, 30, 20, 10}
+	if got := Pearson(a, c); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{2, 3, 4}); got != 0 {
+		t.Fatalf("zero-variance Pearson = %v, want 0", got)
+	}
+	if got := Pearson([]float64{1}, []float64{1, 2}); got != 0 {
+		t.Fatalf("length-mismatch Pearson = %v, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	actual := []float64{100, 200, 300, 400}
+	predict := []float64{100, 100, 300, 800}
+	s := Summarize(actual, predict)
+	if s.Mean != (1+2+1+2)/4.0 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.Max != 2 {
+		t.Fatalf("Max = %v", s.Max)
+	}
+	if s.Pearson <= 0 {
+		t.Fatalf("Pearson = %v, want positive", s.Pearson)
+	}
+}
+
+// Property: q-error is symmetric and ≥ 1.
+func TestQErrorProperties(t *testing.T) {
+	f := func(a, p float64) bool {
+		a, p = math.Abs(a)+0.001, math.Abs(p)+0.001
+		q := QError(a, p)
+		return q >= 1-1e-12 && math.Abs(q-QError(p, a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return Percentile(xs, 0) <= Percentile(xs, 100)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pearson is within [-1, 1] and invariant under positive affine
+// transforms of the prediction.
+func TestPearsonProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		r := Pearson(a, b)
+		if r < -1-1e-9 || r > 1+1e-9 {
+			return false
+		}
+		scaled := make([]float64, n)
+		for i := range b {
+			scaled[i] = 3*b[i] + 7
+		}
+		return math.Abs(Pearson(a, scaled)-r) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

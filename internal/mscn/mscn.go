@@ -1,0 +1,147 @@
+// Package mscn reimplements MSCN (Kipf et al., "Learned Cardinalities:
+// Estimating Correlated Joins with Deep Learning") extended to cost
+// estimation the way the paper's §V-A describes: the output is the query
+// cost rather than cardinality, and the per-node features are the same
+// fine-grained operator features QPPNet uses.
+//
+// Architecturally MSCN is a deep-sets model: a shared set network embeds
+// every plan node, embeddings are average-pooled, and a merge network maps
+// the pooled vector to the predicted log-cost.
+package mscn
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/encoding"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/planner"
+)
+
+// Hyperparameters following the reference MSCN sizing.
+const (
+	defaultHidden = 64
+	defaultEmbed  = 32
+	defaultLR     = 0.001
+	batchSize     = 32
+)
+
+// Model is the set-based cost estimator.
+type Model struct {
+	F *encoding.Featurizer
+
+	SetNet *nn.MLP // node features → embedding
+	OutNet *nn.MLP // pooled embedding → log cost
+	opt    *nn.Adam
+	rng    *rand.Rand
+}
+
+// New builds an MSCN model.
+func New(f *encoding.Featurizer, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	return &Model{
+		F:      f,
+		SetNet: nn.NewMLP([]int{f.Dim(), defaultHidden, defaultEmbed}, rng),
+		OutNet: nn.NewMLP([]int{defaultEmbed, defaultHidden, 1}, rng),
+		opt:    nn.NewAdam(defaultLR),
+		rng:    rng,
+	}
+}
+
+// Name implements the experiment harness's model interface.
+func (m *Model) Name() string { return "mscn" }
+
+type forwardCache struct {
+	nodeCaches []*nn.Cache
+	pooled     []float64
+	outCache   *nn.Cache
+	out        float64
+	n          int
+}
+
+func (m *Model) forward(root *planner.Node) *forwardCache {
+	fc := &forwardCache{pooled: make([]float64, m.SetNet.OutDim())}
+	root.Walk(func(n *planner.Node) {
+		emb, c := m.SetNet.Forward(m.F.Node(n))
+		fc.nodeCaches = append(fc.nodeCaches, c)
+		for i, v := range emb {
+			fc.pooled[i] += v
+		}
+		fc.n++
+	})
+	inv := 1 / float64(fc.n)
+	for i := range fc.pooled {
+		fc.pooled[i] *= inv
+	}
+	y, oc := m.OutNet.Forward(fc.pooled)
+	fc.outCache = oc
+	fc.out = y[0]
+	return fc
+}
+
+func (m *Model) backward(fc *forwardCache, dOut float64) {
+	dPooled := m.OutNet.Backward(fc.outCache, []float64{dOut})
+	inv := 1 / float64(fc.n)
+	dEmb := make([]float64, len(dPooled))
+	for i, v := range dPooled {
+		dEmb[i] = v * inv
+	}
+	for _, c := range fc.nodeCaches {
+		m.SetNet.Backward(c, dEmb)
+	}
+}
+
+// PredictMs estimates the plan's execution time in milliseconds.
+func (m *Model) PredictMs(root *planner.Node) float64 {
+	fc := m.forward(root)
+	return metrics.UnlogMs(fc.out)
+}
+
+// Train fits the model for the given number of mini-batch iterations and
+// returns wall-clock training time.
+func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Duration {
+	start := time.Now()
+	if len(plans) == 0 {
+		return time.Since(start)
+	}
+	layers := nn.LayersOf(m.SetNet, m.OutNet)
+	targets := make([]float64, len(ms))
+	for i, v := range ms {
+		targets[i] = metrics.LogMs(v)
+	}
+	for it := 0; it < iters; it++ {
+		sz := 0
+		for b := 0; b < batchSize; b++ {
+			j := m.rng.Intn(len(plans))
+			fc := m.forward(plans[j])
+			diff := fc.out - targets[j]
+			m.backward(fc, 2*diff)
+			sz++
+		}
+		m.opt.Step(layers, sz)
+	}
+	return time.Since(start)
+}
+
+// Clone deep-copies the model weights.
+func (m *Model) Clone() *Model {
+	return &Model{
+		F:      m.F,
+		SetNet: m.SetNet.Clone(),
+		OutNet: m.OutNet.Clone(),
+		opt:    nn.NewAdam(defaultLR),
+		rng:    rand.New(rand.NewSource(m.rng.Int63())),
+	}
+}
+
+// SetFeaturizer swaps the featurizer; dimensions must match.
+func (m *Model) SetFeaturizer(f *encoding.Featurizer) {
+	if f.Dim() != m.F.Dim() {
+		panic("mscn: featurizer dimension mismatch")
+	}
+	m.F = f
+}
+
+// NumParams reports the trainable parameter count.
+func (m *Model) NumParams() int { return m.SetNet.NumParams() + m.OutNet.NumParams() }

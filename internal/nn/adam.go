@@ -1,0 +1,71 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer over a set of registered Linear
+// layers. State is held per layer, so layers may be shared between models
+// (as QPPNet shares per-operator subnetworks across plan trees).
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t     int
+	state map[*Linear]*adamState
+}
+
+type adamState struct {
+	mW, vW []float64
+	mB, vB []float64
+}
+
+// NewAdam builds an optimizer with standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, state: make(map[*Linear]*adamState)}
+}
+
+// Step applies one update to every layer using its accumulated gradients
+// scaled by 1/batch, then zeroes the gradients.
+func (a *Adam) Step(layers []*Linear, batch int) {
+	if batch < 1 {
+		batch = 1
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	inv := 1 / float64(batch)
+	for _, l := range layers {
+		st := a.state[l]
+		if st == nil {
+			st = &adamState{
+				mW: make([]float64, len(l.W)), vW: make([]float64, len(l.W)),
+				mB: make([]float64, len(l.B)), vB: make([]float64, len(l.B)),
+			}
+			a.state[l] = st
+		}
+		a.update(l.W, l.GW, st.mW, st.vW, inv, bc1, bc2)
+		a.update(l.B, l.GB, st.mB, st.vB, inv, bc1, bc2)
+		l.ZeroGrad()
+	}
+}
+
+func (a *Adam) update(p, g, m, v []float64, inv, bc1, bc2 float64) {
+	for i := range p {
+		gi := g[i]*inv + a.WeightDecay*p[i]
+		m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+		v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+		p[i] -= a.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + a.Eps)
+	}
+}
+
+// LayersOf collects the Linear layers of several MLPs for a single
+// optimizer step.
+func LayersOf(ms ...*MLP) []*Linear {
+	var out []*Linear
+	for _, m := range ms {
+		out = append(out, m.Layers...)
+	}
+	return out
+}

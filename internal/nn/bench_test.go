@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMLPForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{64, 32, 32, 16}, rng)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+func BenchmarkMLPForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{64, 32, 32, 16}, rng)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dOut := make([]float64, 16)
+	dOut[0] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, c := m.Forward(x)
+		m.Backward(c, dOut)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{64, 32, 32, 16}, rng)
+	opt := NewAdam(0.001)
+	layers := LayersOf(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(layers, 16)
+	}
+}

@@ -1,0 +1,247 @@
+// Package nn is a minimal pure-Go neural-network library: dense layers,
+// ReLU activations, MLP composition with full activation caching, and the
+// Adam optimizer. It replaces the PyTorch dependency of the original QPPNet
+// and MSCN implementations.
+//
+// The design exposes per-layer pre-activations and activations on every
+// forward pass because the paper's difference-propagation feature reduction
+// (Equation 1) is defined over layer activations, and the gradient baseline
+// needs exact input gradients through ReLU.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Linear is a dense layer y = W·x + b with accumulated gradients.
+type Linear struct {
+	In, Out int
+	W       []float64 // row-major Out×In
+	B       []float64
+	GW      []float64
+	GB      []float64
+}
+
+// NewLinear builds a layer with He-uniform initialization, deterministic
+// under the caller's rng.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		W:  make([]float64, in*out),
+		B:  make([]float64, out),
+		GW: make([]float64, in*out),
+		GB: make([]float64, out),
+	}
+	bound := math.Sqrt(6.0 / float64(in))
+	for i := range l.W {
+		l.W[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return l
+}
+
+// Forward computes W·x + b.
+func (l *Linear) Forward(x []float64) []float64 {
+	if len(x) != l.In {
+		panic(fmt.Sprintf("nn: Linear forward got %d inputs, want %d", len(x), l.In))
+	}
+	y := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		row := l.W[o*l.In : (o+1)*l.In]
+		s := l.B[o]
+		for i, w := range row {
+			s += w * x[i]
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward accumulates dL/dW and dL/dB given the layer input x and the
+// upstream gradient dy, and returns dL/dx.
+func (l *Linear) Backward(x, dy []float64) []float64 {
+	dx := make([]float64, l.In)
+	for o := 0; o < l.Out; o++ {
+		g := dy[o]
+		if g == 0 {
+			continue
+		}
+		l.GB[o] += g
+		row := l.W[o*l.In : (o+1)*l.In]
+		grow := l.GW[o*l.In : (o+1)*l.In]
+		for i := range row {
+			grow[i] += g * x[i]
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// ZeroGrad clears accumulated gradients.
+func (l *Linear) ZeroGrad() {
+	for i := range l.GW {
+		l.GW[i] = 0
+	}
+	for i := range l.GB {
+		l.GB[i] = 0
+	}
+}
+
+// Clone deep-copies weights (gradients start at zero).
+func (l *Linear) Clone() *Linear {
+	c := &Linear{
+		In: l.In, Out: l.Out,
+		W:  append([]float64(nil), l.W...),
+		B:  append([]float64(nil), l.B...),
+		GW: make([]float64, len(l.GW)),
+		GB: make([]float64, len(l.GB)),
+	}
+	return c
+}
+
+// NumParams returns the parameter count.
+func (l *Linear) NumParams() int { return len(l.W) + len(l.B) }
+
+// MLP is a stack of Linear layers with ReLU between all but the last.
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given layer widths, e.g. dims = [in, h1,
+// h2, out].
+func NewMLP(dims []int, rng *rand.Rand) *MLP {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(dims); i++ {
+		m.Layers = append(m.Layers, NewLinear(dims[i], dims[i+1], rng))
+	}
+	return m
+}
+
+// InDim and OutDim report the model's input/output widths.
+func (m *MLP) InDim() int { return m.Layers[0].In }
+
+// OutDim reports the output width.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }
+
+// Cache stores one forward pass: Act[0] is the input, Act[i] the activation
+// after layer i (post-ReLU for hidden layers), Pre[i] the pre-activation of
+// layer i. Difference propagation and backprop both consume it.
+type Cache struct {
+	Act [][]float64
+	Pre [][]float64
+}
+
+// Forward runs the network and returns the output plus the activation
+// cache.
+func (m *MLP) Forward(x []float64) ([]float64, *Cache) {
+	c := &Cache{Act: make([][]float64, 0, len(m.Layers)+1), Pre: make([][]float64, 0, len(m.Layers))}
+	c.Act = append(c.Act, x)
+	h := x
+	for li, l := range m.Layers {
+		z := l.Forward(h)
+		c.Pre = append(c.Pre, z)
+		if li < len(m.Layers)-1 {
+			a := make([]float64, len(z))
+			for i, v := range z {
+				if v > 0 {
+					a[i] = v
+				}
+			}
+			h = a
+		} else {
+			h = z
+		}
+		c.Act = append(c.Act, h)
+	}
+	return h, c
+}
+
+// Predict runs the network and returns only the output.
+func (m *MLP) Predict(x []float64) []float64 {
+	y, _ := m.Forward(x)
+	return y
+}
+
+// Backward propagates dL/dOut through the cached pass, accumulating layer
+// gradients, and returns dL/dInput.
+func (m *MLP) Backward(c *Cache, dOut []float64) []float64 {
+	g := dOut
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		if li < len(m.Layers)-1 {
+			// Undo ReLU: gradient flows only where pre-activation > 0.
+			pre := c.Pre[li]
+			masked := make([]float64, len(g))
+			for i := range g {
+				if pre[i] > 0 {
+					masked[i] = g[i]
+				}
+			}
+			g = masked
+		}
+		g = m.Layers[li].Backward(c.Act[li], g)
+	}
+	return g
+}
+
+// InputGradient returns d out[k] / d x at x (exact, through ReLU masks)
+// without touching accumulated parameter gradients.
+func (m *MLP) InputGradient(x []float64, k int) []float64 {
+	_, c := m.Forward(x)
+	dOut := make([]float64, m.OutDim())
+	dOut[k] = 1
+	g := dOut
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		if li < len(m.Layers)-1 {
+			pre := c.Pre[li]
+			masked := make([]float64, len(g))
+			for i := range g {
+				if pre[i] > 0 {
+					masked[i] = g[i]
+				}
+			}
+			g = masked
+		}
+		l := m.Layers[li]
+		dx := make([]float64, l.In)
+		for o := 0; o < l.Out; o++ {
+			if g[o] == 0 {
+				continue
+			}
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i := range row {
+				dx[i] += g[o] * row[i]
+			}
+		}
+		g = dx
+	}
+	return g
+}
+
+// ZeroGrad clears every layer's gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Clone deep-copies the network.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{}
+	for _, l := range m.Layers {
+		c.Layers = append(c.Layers, l.Clone())
+	}
+	return c
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	var n int
+	for _, l := range m.Layers {
+		n += l.NumParams()
+	}
+	return n
+}

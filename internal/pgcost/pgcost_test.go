@@ -1,0 +1,61 @@
+package pgcost
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dbenv"
+	"repro/internal/planner"
+	"repro/internal/sqlparse"
+)
+
+var tpch = datagen.TPCH(1)
+
+func planOf(t *testing.T, sql string) *planner.Node {
+	t.Helper()
+	pl := planner.New(tpch.Schema, tpch.Stats, dbenv.DefaultKnobs())
+	n, err := pl.Plan(sqlparse.MustParse(sql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestEstimatesPositiveAndOrdered(t *testing.T) {
+	m := New(tpch.Stats)
+	point := m.EstimateMs(planOf(t, "SELECT * FROM orders WHERE o_orderkey = 7"))
+	scan := m.EstimateMs(planOf(t, "SELECT * FROM lineitem WHERE l_quantity > 0"))
+	join := m.EstimateMs(planOf(t, "SELECT COUNT(*) FROM orders JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey"))
+	if point <= 0 || scan <= 0 || join <= 0 {
+		t.Fatalf("non-positive estimates: %v %v %v", point, scan, join)
+	}
+	// An indexed point lookup must be priced far below a full scan, and a
+	// join above its scan input.
+	if point*10 > scan {
+		t.Fatalf("point (%v) not ≪ scan (%v)", point, scan)
+	}
+	if join <= scan {
+		t.Fatalf("join (%v) should cost more than scan (%v)", join, scan)
+	}
+}
+
+func TestEnvironmentInsensitivity(t *testing.T) {
+	// The defining flaw of the analytic baseline: identical predictions
+	// regardless of knobs (plans held fixed).
+	m := New(tpch.Stats)
+	n := planOf(t, "SELECT * FROM lineitem WHERE l_quantity < 20")
+	a := m.EstimateMs(n)
+	b := m.EstimateMs(n) // same plan, "different environment" is invisible
+	if a != b {
+		t.Fatalf("analytic model should be deterministic")
+	}
+}
+
+func TestSortAndAggregatePriced(t *testing.T) {
+	m := New(tpch.Stats)
+	plain := m.EstimateMs(planOf(t, "SELECT * FROM orders WHERE o_totalprice > 100"))
+	sorted := m.EstimateMs(planOf(t, "SELECT * FROM orders WHERE o_totalprice > 100 ORDER BY o_totalprice"))
+	if sorted <= plain {
+		t.Fatalf("sort not priced: %v vs %v", sorted, plain)
+	}
+}

@@ -1,0 +1,79 @@
+package planner
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+)
+
+// Default selectivities for predicates the histogram cannot answer,
+// mirroring PostgreSQL's defaults.
+const (
+	defaultEqSel    = 0.005
+	defaultRangeSel = 0.33
+	defaultLikeSel  = 0.05
+)
+
+// PredSelectivity estimates the fraction of rows satisfying p using the
+// column statistics; it falls back to PostgreSQL-style defaults when the
+// statistics cannot answer.
+func PredSelectivity(stats *catalog.Stats, p sqlparse.Predicate) float64 {
+	cs := stats.Col(p.Col.Table, p.Col.Column)
+	if cs == nil {
+		return defaultRangeSel
+	}
+	switch p.Op {
+	case sqlparse.OpEq:
+		return cs.SelectivityEq(p.Args[0])
+	case sqlparse.OpNe:
+		return clamp01(1 - cs.SelectivityEq(p.Args[0]))
+	case sqlparse.OpLt, sqlparse.OpLe:
+		return cs.SelectivityRange(nil, &p.Args[0])
+	case sqlparse.OpGt, sqlparse.OpGe:
+		return cs.SelectivityRange(&p.Args[0], nil)
+	case sqlparse.OpBetween:
+		return cs.SelectivityRange(&p.Args[0], &p.Args[1])
+	case sqlparse.OpIn:
+		var s float64
+		for _, a := range p.Args {
+			s += cs.SelectivityEq(a)
+		}
+		return clamp01(s)
+	case sqlparse.OpLike:
+		return defaultLikeSel
+	}
+	return defaultRangeSel
+}
+
+// JoinSelectivity estimates the equi-join selectivity 1/max(ndv_l, ndv_r),
+// the textbook formula PostgreSQL also uses for single-clause equi-joins.
+func JoinSelectivity(stats *catalog.Stats, l, r sqlparse.ColRef) float64 {
+	ndv := func(c sqlparse.ColRef) float64 {
+		if cs := stats.Col(c.Table, c.Column); cs != nil && cs.DistinctVals > 0 {
+			return float64(cs.DistinctVals)
+		}
+		return 200 // default NDV
+	}
+	m := math.Max(ndv(l), ndv(r))
+	return 1 / m
+}
+
+// GroupEstimate estimates the number of output groups for a hash aggregate:
+// the product of the grouping columns' NDVs, capped by the input rows.
+func GroupEstimate(stats *catalog.Stats, cols []sqlparse.ColRef, inputRows float64) float64 {
+	if len(cols) == 0 {
+		return 1
+	}
+	groups := 1.0
+	for _, c := range cols {
+		if cs := stats.Col(c.Table, c.Column); cs != nil && cs.DistinctVals > 0 {
+			groups *= float64(cs.DistinctVals)
+		} else {
+			groups *= 50
+		}
+	}
+	return math.Max(1, math.Min(groups, inputRows))
+}
+
+func clamp01(v float64) float64 { return math.Max(0, math.Min(1, v)) }

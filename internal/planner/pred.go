@@ -1,0 +1,84 @@
+package planner
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+)
+
+// CompilePred binds a parsed predicate to a column ordinal and builds the
+// evaluation closure used by the executor's per-row hot loop.
+func CompilePred(col int, p sqlparse.Predicate) CompiledPred {
+	return CompiledPred{Col: col, Src: p, Eval: buildEval(p)}
+}
+
+func buildEval(p sqlparse.Predicate) func(catalog.Value) bool {
+	switch p.Op {
+	case sqlparse.OpEq:
+		arg := p.Args[0]
+		return func(v catalog.Value) bool { return !v.Null && v.Compare(arg) == 0 }
+	case sqlparse.OpNe:
+		arg := p.Args[0]
+		return func(v catalog.Value) bool { return !v.Null && v.Compare(arg) != 0 }
+	case sqlparse.OpLt:
+		arg := p.Args[0]
+		return func(v catalog.Value) bool { return !v.Null && v.Compare(arg) < 0 }
+	case sqlparse.OpLe:
+		arg := p.Args[0]
+		return func(v catalog.Value) bool { return !v.Null && v.Compare(arg) <= 0 }
+	case sqlparse.OpGt:
+		arg := p.Args[0]
+		return func(v catalog.Value) bool { return !v.Null && v.Compare(arg) > 0 }
+	case sqlparse.OpGe:
+		arg := p.Args[0]
+		return func(v catalog.Value) bool { return !v.Null && v.Compare(arg) >= 0 }
+	case sqlparse.OpBetween:
+		lo, hi := p.Args[0], p.Args[1]
+		return func(v catalog.Value) bool {
+			return !v.Null && v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+		}
+	case sqlparse.OpIn:
+		args := p.Args
+		return func(v catalog.Value) bool {
+			if v.Null {
+				return false
+			}
+			for _, a := range args {
+				if v.Compare(a) == 0 {
+					return true
+				}
+			}
+			return false
+		}
+	case sqlparse.OpLike:
+		return buildLike(p.Args[0].S)
+	}
+	// Unknown operator: reject every row (parser prevents this).
+	return func(catalog.Value) bool { return false }
+}
+
+// buildLike compiles the SQL LIKE pattern subset used by the benchmarks:
+// leading/trailing % wildcards ("abc%", "%abc", "%abc%") and exact matches.
+// A lone interior % splits into prefix+suffix matching.
+func buildLike(pattern string) func(catalog.Value) bool {
+	hasPrefix := strings.HasPrefix(pattern, "%")
+	hasSuffix := strings.HasSuffix(pattern, "%")
+	core := strings.Trim(pattern, "%")
+	switch {
+	case hasPrefix && hasSuffix:
+		return func(v catalog.Value) bool { return !v.Null && strings.Contains(v.S, core) }
+	case hasSuffix:
+		return func(v catalog.Value) bool { return !v.Null && strings.HasPrefix(v.S, core) }
+	case hasPrefix:
+		return func(v catalog.Value) bool { return !v.Null && strings.HasSuffix(v.S, core) }
+	}
+	if i := strings.IndexByte(pattern, '%'); i >= 0 {
+		pre, suf := pattern[:i], pattern[i+1:]
+		return func(v catalog.Value) bool {
+			return !v.Null && len(v.S) >= len(pre)+len(suf) &&
+				strings.HasPrefix(v.S, pre) && strings.HasSuffix(v.S, suf)
+		}
+	}
+	return func(v catalog.Value) bool { return !v.Null && v.S == pattern }
+}

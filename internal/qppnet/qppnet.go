@@ -1,0 +1,177 @@
+// Package qppnet reimplements QPPNet (Marcus & Papaemmanouil, "Plan-
+// Structured Deep Neural Network Models for Query Performance Prediction"),
+// the plan-structured estimator the paper integrates QCFE into as
+// QCFE(qpp).
+//
+// One MLP exists per physical operator type. A node's network receives the
+// node's feature vector concatenated with the element-wise sum of its
+// children's output vectors; the first element of the root's output vector
+// is the predicted log-cost. Training backpropagates through the whole
+// tree, so operator networks are shared across every plan they appear in.
+package qppnet
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/encoding"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/planner"
+)
+
+// Hyperparameters mirroring the open-source QPPNet configuration, scaled
+// to this repo's feature sizes.
+const (
+	defaultHidden = 32
+	defaultOutVec = 16
+	defaultLR     = 0.001
+	batchSize     = 16
+)
+
+// Model is a plan-structured cost estimator.
+type Model struct {
+	F      *encoding.Featurizer
+	Hidden int
+	OutVec int
+
+	Nets map[planner.OpType]*nn.MLP
+	opt  *nn.Adam
+	rng  *rand.Rand
+}
+
+// New builds a QPPNet with one subnetwork per operator type.
+func New(f *encoding.Featurizer, seed int64) *Model {
+	m := &Model{
+		F:      f,
+		Hidden: defaultHidden,
+		OutVec: defaultOutVec,
+		Nets:   make(map[planner.OpType]*nn.MLP),
+		opt:    nn.NewAdam(defaultLR),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	in := f.Dim() + m.OutVec
+	for _, op := range planner.AllOpTypes() {
+		m.Nets[op] = nn.NewMLP([]int{in, m.Hidden, m.Hidden, m.OutVec}, m.rng)
+	}
+	return m
+}
+
+// Name implements the experiment harness's model interface.
+func (m *Model) Name() string { return "qppnet" }
+
+// treeCache stores one forward pass through a plan tree for backprop.
+type treeCache struct {
+	op       planner.OpType
+	input    []float64
+	cache    *nn.Cache
+	out      []float64
+	children []*treeCache
+}
+
+func (m *Model) forward(n *planner.Node) *treeCache {
+	tc := &treeCache{op: n.Op}
+	childSum := make([]float64, m.OutVec)
+	for _, c := range n.Children {
+		cc := m.forward(c)
+		tc.children = append(tc.children, cc)
+		for i, v := range cc.out {
+			childSum[i] += v
+		}
+	}
+	feat := m.F.Node(n)
+	tc.input = append(append(make([]float64, 0, len(feat)+m.OutVec), feat...), childSum...)
+	tc.out, tc.cache = m.Nets[n.Op].Forward(tc.input)
+	return tc
+}
+
+func (m *Model) backward(tc *treeCache, dOut []float64) {
+	dIn := m.Nets[tc.op].Backward(tc.cache, dOut)
+	if len(tc.children) == 0 {
+		return
+	}
+	dChild := dIn[len(dIn)-m.OutVec:]
+	for _, c := range tc.children {
+		m.backward(c, dChild)
+	}
+}
+
+// PredictMs estimates the plan's execution time in milliseconds.
+func (m *Model) PredictMs(root *planner.Node) float64 {
+	tc := m.forward(root)
+	return metrics.UnlogMs(tc.out[0])
+}
+
+// layers collects every subnetwork's parameters for the optimizer.
+func (m *Model) layers() []*nn.Linear {
+	var out []*nn.Linear
+	for _, op := range planner.AllOpTypes() {
+		out = append(out, m.Nets[op].Layers...)
+	}
+	return out
+}
+
+// Train fits the model on (plan, milliseconds) pairs for the given number
+// of iterations (mini-batch steps) and returns the wall-clock training
+// time — the quantity the paper's Table IV reports.
+func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Duration {
+	start := time.Now()
+	if len(plans) == 0 {
+		return time.Since(start)
+	}
+	layers := m.layers()
+	targets := make([]float64, len(ms))
+	for i, v := range ms {
+		targets[i] = metrics.LogMs(v)
+	}
+	for it := 0; it < iters; it++ {
+		sz := 0
+		for b := 0; b < batchSize; b++ {
+			j := m.rng.Intn(len(plans))
+			tc := m.forward(plans[j])
+			diff := tc.out[0] - targets[j]
+			dOut := make([]float64, m.OutVec)
+			dOut[0] = 2 * diff
+			m.backward(tc, dOut)
+			sz++
+		}
+		m.opt.Step(layers, sz)
+	}
+	return time.Since(start)
+}
+
+// Clone deep-copies the model (weights only) — the basis of the §V-E
+// transfer workflow, which clones a trained model and retrains briefly
+// against a new environment's snapshot.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		F:      m.F,
+		Hidden: m.Hidden,
+		OutVec: m.OutVec,
+		Nets:   make(map[planner.OpType]*nn.MLP, len(m.Nets)),
+		opt:    nn.NewAdam(defaultLR),
+		rng:    rand.New(rand.NewSource(m.rng.Int63())),
+	}
+	for op, net := range m.Nets {
+		c.Nets[op] = net.Clone()
+	}
+	return c
+}
+
+// SetFeaturizer swaps the featurizer (e.g. replacing the snapshot with one
+// fitted on new hardware). The feature dimensionality must be unchanged.
+func (m *Model) SetFeaturizer(f *encoding.Featurizer) {
+	if f.Dim() != m.F.Dim() {
+		panic("qppnet: featurizer dimension mismatch")
+	}
+	m.F = f
+}
+
+// NumParams reports the total trainable parameter count.
+func (m *Model) NumParams() int {
+	var n int
+	for _, net := range m.Nets {
+		n += net.NumParams()
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/dbenv"
+	"repro/internal/engine"
+	"repro/internal/planner"
+	"repro/internal/sqlparse"
+)
+
+// Builder computes feature snapshots for one dataset in one environment by
+// executing labeling queries and fitting the logical cost formulas to the
+// per-operator measurements.
+type Builder struct {
+	DS  *datagen.Dataset
+	Env *dbenv.Environment
+}
+
+// NewBuilder constructs a snapshot builder.
+func NewBuilder(ds *datagen.Dataset, env *dbenv.Environment) *Builder {
+	return &Builder{DS: ds, Env: env}
+}
+
+// BuildResult carries the fitted snapshot plus the labeling cost, which
+// Table V reports (FSO's hours of original queries vs FST's minutes of
+// simplified templates).
+type BuildResult struct {
+	Snapshot *Snapshot
+	// CollectionMs is the total simulated execution time of the labeling
+	// queries — the quantity the paper reports as collection cost.
+	CollectionMs float64
+	// QueriesRun counts the labeling queries that planned and executed.
+	QueriesRun int
+}
+
+// FromQueries executes the given labeling queries and fits the snapshot.
+// Queries that fail to plan (e.g. templates referencing another schema) are
+// skipped; at least one successful query is required.
+func (b *Builder) FromQueries(sqls []string) (*BuildResult, error) {
+	pl := planner.New(b.DS.Schema, b.DS.Stats, b.Env.Knobs)
+	ex := engine.New(b.DS.DB, b.Env)
+	var samples []OpSample
+	var totalMs float64
+	var ran int
+	for _, sql := range sqls {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			continue
+		}
+		node, err := pl.Plan(q)
+		if err != nil {
+			continue
+		}
+		res, err := ex.Execute(node)
+		if err != nil {
+			continue
+		}
+		totalMs += res.TotalMs
+		samples = append(samples, CollectSamples(node)...)
+		ran++
+	}
+	if ran == 0 {
+		return nil, fmt.Errorf("snapshot: no labeling query executed successfully")
+	}
+	snap, err := Fit(samples)
+	if err != nil {
+		return nil, err
+	}
+	return &BuildResult{Snapshot: snap, CollectionMs: totalMs, QueriesRun: ran}, nil
+}
+
+// FromTemplates runs the full FST pipeline (§III-B): generate simplified
+// templates from the original workload templates via Algorithm 1, execute
+// them, and fit.
+func (b *Builder) FromTemplates(originals []*sqlparse.Query, scale int, seed int64) (*BuildResult, error) {
+	gen := NewTemplateGen(b.DS.Schema, b.DS.Stats)
+	sqls := gen.Generate(originals, scale, seed)
+	if len(sqls) == 0 {
+		return nil, fmt.Errorf("snapshot: template generation produced no queries")
+	}
+	return b.FromQueries(sqls)
+}

@@ -1,0 +1,151 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/planner"
+)
+
+// This file implements the finer granularities the paper's §III-B
+// discussion proposes: "it could be extended to more fine-grained levels
+// such as the operator-table level … Fine-grained feature snapshots will
+// bring higher efficiency, and also increase the collection cost."
+//
+// A GranularSnapshot fits one coefficient vector per (operator, table)
+// group, falling back to the operator-level fit when a group has too few
+// labeled samples to regress stably.
+
+// Granularity selects the snapshot fitting level.
+type Granularity int
+
+const (
+	// OpLevel fits one coefficient vector per operator type (the paper's
+	// default design).
+	OpLevel Granularity = iota
+	// OpTableLevel fits one vector per (operator, table) pair, using the
+	// operator-level fit as a fallback for sparse groups.
+	OpTableLevel
+)
+
+// String implements fmt.Stringer.
+func (g Granularity) String() string {
+	if g == OpTableLevel {
+		return "operator-table"
+	}
+	return "operator"
+}
+
+// minGroupSamples is the smallest labeled-group size worth a dedicated
+// regression; smaller groups fall back to the operator-level coefficients.
+const minGroupSamples = 8
+
+// TableSample extends OpSample with the operator's base table (empty for
+// non-scan operators above the leaves).
+type TableSample struct {
+	OpSample
+	Table string
+}
+
+// CollectTableSamples extracts per-node samples with table attribution.
+func CollectTableSamples(root *planner.Node) []TableSample {
+	var out []TableSample
+	root.Walk(func(n *planner.Node) {
+		out = append(out, TableSample{
+			OpSample: OpSample{Op: n.Op, N1: n.ActualIn1, N2: n.ActualIn2, Ms: n.ActualMs},
+			Table:    n.Table,
+		})
+	})
+	return out
+}
+
+// GranularSnapshot holds operator-table coefficient groups over a base
+// operator-level snapshot.
+type GranularSnapshot struct {
+	Base   *Snapshot
+	Level  Granularity
+	Groups map[groupKey][]float64
+}
+
+type groupKey struct {
+	Op    planner.OpType
+	Table string
+}
+
+// FitGranular fits a snapshot at the requested granularity.
+func FitGranular(samples []TableSample, level Granularity) (*GranularSnapshot, error) {
+	flat := make([]OpSample, len(samples))
+	for i, s := range samples {
+		flat[i] = s.OpSample
+	}
+	base, err := Fit(flat)
+	if err != nil {
+		return nil, err
+	}
+	gs := &GranularSnapshot{Base: base, Level: level, Groups: make(map[groupKey][]float64)}
+	if level == OpLevel {
+		return gs, nil
+	}
+	byGroup := make(map[groupKey][]OpSample)
+	for _, s := range samples {
+		if s.Table == "" {
+			continue
+		}
+		k := groupKey{Op: s.Op, Table: s.Table}
+		byGroup[k] = append(byGroup[k], s.OpSample)
+	}
+	for k, ss := range byGroup {
+		if len(ss) < minGroupSamples {
+			continue
+		}
+		sub, err := Fit(ss)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: group %v/%s: %w", k.Op, k.Table, err)
+		}
+		gs.Groups[k] = sub.Coeffs[k.Op]
+	}
+	return gs, nil
+}
+
+// coeffsFor returns the most specific coefficient vector for a node.
+func (gs *GranularSnapshot) coeffsFor(op planner.OpType, table string) []float64 {
+	if gs.Level == OpTableLevel && table != "" {
+		if c, ok := gs.Groups[groupKey{Op: op, Table: table}]; ok {
+			return c
+		}
+	}
+	return gs.Base.Coeffs[op]
+}
+
+// FormulaMs evaluates the logical cost formula with the most specific
+// coefficients available.
+func (gs *GranularSnapshot) FormulaMs(op planner.OpType, table string, n1, n2 float64) float64 {
+	coef := gs.coeffsFor(op, table)
+	if coef == nil {
+		return 0
+	}
+	row := designRow(op, n1, n2)
+	var t float64
+	for i, r := range row {
+		t += r * coef[i]
+	}
+	return t
+}
+
+// Features mirrors Snapshot.Features at the finer granularity.
+func (gs *GranularSnapshot) Features(n *planner.Node) []float64 {
+	out := make([]float64, FeatureDim)
+	out[0] = metrics.LogMs(gs.FormulaMs(n.Op, n.Table, n.EstIn1, n.EstIn2))
+	coef := gs.coeffsFor(n.Op, n.Table)
+	for i := 0; i < CoeffDim && coef != nil; i++ {
+		out[1+i] = coeffFeature(coef[i])
+	}
+	return out
+}
+
+// NumGroups reports how many dedicated operator-table fits exist.
+func (gs *GranularSnapshot) NumGroups() int { return len(gs.Groups) }
+
+// Flatten produces a plain Snapshot view (base coefficients), letting a
+// GranularSnapshot drop into APIs that expect the operator level.
+func (gs *GranularSnapshot) Flatten() *Snapshot { return gs.Base }

@@ -1,0 +1,141 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/planner"
+	"repro/internal/sqlparse"
+)
+
+// collectTableSamples runs a batch of queries and harvests table-tagged
+// operator samples.
+func collectTableSamplesFor(t *testing.T, sqls []string) []TableSample {
+	t.Helper()
+	env := quietEnv()
+	pl := planner.New(tpch.Schema, tpch.Stats, env.Knobs)
+	ex := engine.New(tpch.DB, env)
+	var out []TableSample
+	for _, sql := range sqls {
+		node, err := pl.Plan(sqlparse.MustParse(sql))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Execute(node); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, CollectTableSamples(node)...)
+	}
+	return out
+}
+
+func granularWorkload() []string {
+	var sqls []string
+	for _, q := range []string{"3", "6", "9", "12", "18", "24", "30", "36", "42", "48"} {
+		sqls = append(sqls,
+			"SELECT * FROM lineitem WHERE l_quantity < "+q,
+			"SELECT * FROM part WHERE p_size < "+q,
+			"SELECT * FROM customer WHERE c_acctbal > "+q+"00",
+		)
+	}
+	return sqls
+}
+
+func TestFitGranularOpLevelMatchesBase(t *testing.T) {
+	samples := collectTableSamplesFor(t, granularWorkload())
+	gs, err := FitGranular(samples, OpLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.NumGroups() != 0 {
+		t.Fatalf("op-level fit should have no groups")
+	}
+	// Formula must match the base snapshot exactly.
+	if gs.FormulaMs(planner.SeqScan, "lineitem", 1000, 0) != gs.Base.FormulaMs(planner.SeqScan, 1000, 0) {
+		t.Fatalf("op-level granular differs from base")
+	}
+}
+
+func TestFitGranularTableLevel(t *testing.T) {
+	samples := collectTableSamplesFor(t, granularWorkload())
+	gs, err := FitGranular(samples, OpTableLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.NumGroups() == 0 {
+		t.Fatalf("no operator-table groups fitted")
+	}
+	// The per-table formulas should differ across tables (different row
+	// widths → different per-row cost) while staying positive.
+	li := gs.FormulaMs(planner.SeqScan, "lineitem", 10_000, 0)
+	cu := gs.FormulaMs(planner.SeqScan, "customer", 10_000, 0)
+	if li <= 0 || cu <= 0 {
+		t.Fatalf("non-positive formulas: %v %v", li, cu)
+	}
+	if li == cu {
+		t.Fatalf("operator-table granularity should specialize per table")
+	}
+	// Fallback: a table never seen uses the base operator fit.
+	ghost := gs.FormulaMs(planner.SeqScan, "region", 10_000, 0)
+	base := gs.Base.FormulaMs(planner.SeqScan, 10_000, 0)
+	if ghost != base {
+		t.Fatalf("unseen table should fall back to operator level")
+	}
+}
+
+func TestGranularMoreAccuratePerTable(t *testing.T) {
+	// The paper's claim: finer granularity → higher fidelity. Measure the
+	// per-node prediction error of both levels on a held-out scan.
+	samples := collectTableSamplesFor(t, granularWorkload())
+	opLevel, err := FitGranular(samples, OpLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabLevel, err := FitGranular(samples, OpTableLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := quietEnv()
+	pl := planner.New(tpch.Schema, tpch.Stats, env.Knobs)
+	ex := engine.New(tpch.DB, env)
+	node, _ := pl.Plan(sqlparse.MustParse("SELECT * FROM customer WHERE c_acctbal > 2000"))
+	if _, err := ex.Execute(node); err != nil {
+		t.Fatal(err)
+	}
+	actual := node.ActualMs
+	errOf := func(pred float64) float64 {
+		d := pred - actual
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	coarse := errOf(opLevel.FormulaMs(planner.SeqScan, "customer", node.ActualIn1, 0))
+	fine := errOf(tabLevel.FormulaMs(planner.SeqScan, "customer", node.ActualIn1, 0))
+	if fine > coarse*1.05 {
+		t.Fatalf("operator-table fit (err %v) should not be worse than operator fit (err %v)", fine, coarse)
+	}
+}
+
+func TestGranularFeatures(t *testing.T) {
+	samples := collectTableSamplesFor(t, granularWorkload())
+	gs, err := FitGranular(samples, OpTableLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := planner.New(tpch.Schema, tpch.Stats, quietEnv().Knobs)
+	node, _ := pl.Plan(sqlparse.MustParse("SELECT * FROM lineitem WHERE l_quantity < 9"))
+	f := gs.Features(node)
+	if len(f) != FeatureDim {
+		t.Fatalf("feature dim = %d", len(f))
+	}
+	if f[0] <= 0 {
+		t.Fatalf("formula feature should be positive")
+	}
+	if gs.Flatten() != gs.Base {
+		t.Fatalf("Flatten should expose the base snapshot")
+	}
+	if gs.Level.String() != "operator-table" || OpLevel.String() != "operator" {
+		t.Fatalf("granularity names wrong")
+	}
+}

@@ -1,0 +1,252 @@
+package snapshot
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+)
+
+// tplOperator is the operator class a keyword maps to when parsing the
+// original templates (the paper's Table II keyword → operator rows).
+type tplOperator int
+
+const (
+	tplScan tplOperator = iota // >, like, =, <, in, … → seq/index scan
+	tplSort                    // ORDER BY → sort
+	tplAgg                     // GROUP BY → aggregate
+	tplJoin                    // t1.a = t2.b → merge/hash join, nested loop
+)
+
+func (o tplOperator) String() string {
+	return [...]string{"scan", "sort", "aggregate", "join"}[o]
+}
+
+// tcPair is one (table, column) the operator touches; joins carry both
+// sides.
+type tcPair struct {
+	Table, Column   string
+	Table2, Column2 string // joins only
+}
+
+// TemplateGen implements the paper's Algorithm 1: it parses the original
+// query templates into an operator → (table, column) map, instantiates the
+// per-operator parent templates of Table II, and fills them with values
+// drawn from the data abstract R (the catalog statistics' value samples).
+type TemplateGen struct {
+	Schema *catalog.Schema
+	Stats  *catalog.Stats
+}
+
+// NewTemplateGen builds a generator over one dataset's schema and data
+// abstract.
+func NewTemplateGen(schema *catalog.Schema, stats *catalog.Stats) *TemplateGen {
+	return &TemplateGen{Schema: schema, Stats: stats}
+}
+
+// ParseTemplates is Algorithm 1 phase 1 (lines 2–5): gather the
+// operator-table-column information from the original query templates.
+func (g *TemplateGen) ParseTemplates(originals []*sqlparse.Query) map[tplOperator][]tcPair {
+	info := make(map[tplOperator][]tcPair)
+	seen := make(map[string]bool)
+	add := func(op tplOperator, p tcPair) {
+		key := fmt.Sprintf("%d|%s.%s|%s.%s", op, p.Table, p.Column, p.Table2, p.Column2)
+		if !seen[key] {
+			seen[key] = true
+			info[op] = append(info[op], p)
+		}
+	}
+	for _, q := range originals {
+		if err := q.Resolve(g.Schema); err != nil {
+			continue // skip templates that do not bind to this schema
+		}
+		for _, p := range q.Preds {
+			add(tplScan, tcPair{Table: p.Col.Table, Column: p.Col.Column})
+		}
+		for _, j := range q.Joins {
+			add(tplJoin, tcPair{
+				Table: j.Left.Table, Column: j.Left.Column,
+				Table2: j.Right.Table, Column2: j.Right.Column,
+			})
+		}
+		for _, o := range q.OrderBy {
+			add(tplSort, tcPair{Table: o.Col.Table, Column: o.Col.Column})
+		}
+		for _, gcol := range q.GroupBy {
+			add(tplAgg, tcPair{Table: gcol.Table, Column: gcol.Column})
+		}
+	}
+	return info
+}
+
+// simplifiedTemplate is one generated parent template bound to concrete
+// tables/columns; Fill turns it into executable SQL.
+type simplifiedTemplate struct {
+	op   tplOperator
+	pair tcPair
+	// condCol is the column the WHERE condition constrains; defaults to
+	// the pair's column for scans and to a sampled filter column for the
+	// other operators.
+	condTable, condCol string
+}
+
+// GenerateTemplates is Algorithm 1 phase 2 (lines 6–9): instantiate the
+// Table II parent templates for every gathered operator-table-column entry.
+func (g *TemplateGen) GenerateTemplates(info map[tplOperator][]tcPair) []simplifiedTemplate {
+	var out []simplifiedTemplate
+	ops := make([]tplOperator, 0, len(info))
+	for op := range info {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		for _, p := range info[op] {
+			t := simplifiedTemplate{op: op, pair: p, condTable: p.Table, condCol: p.Column}
+			if op == tplJoin {
+				// Fill the join template's [condition] from a predicate
+				// column the original queries actually filter on (phase 1's
+				// scan info), not from the join key — join keys are
+				// unselective and would make the "simplified" query more
+				// expensive than the original.
+				if ct, cc, ok := scanCondFor(info, p.Table, p.Table2); ok {
+					t.condTable, t.condCol = ct, cc
+				}
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// scanCondFor finds a filter column from the scan info belonging to either
+// joined table.
+func scanCondFor(info map[tplOperator][]tcPair, t1, t2 string) (string, string, bool) {
+	for _, sp := range info[tplScan] {
+		if sp.Table == t1 || sp.Table == t2 {
+			return sp.Table, sp.Column, true
+		}
+	}
+	return "", "", false
+}
+
+// Fill is Algorithm 1 phase 3 (lines 10–14): instantiate every template
+// `scale` times with random comparison operators and random constants from
+// the data abstract, returning executable SQL strings.
+func (g *TemplateGen) Fill(templates []simplifiedTemplate, scale int, rng *rand.Rand) []string {
+	var out []string
+	for s := 0; s < scale; s++ {
+		for _, t := range templates {
+			if sql, ok := g.fillOne(t, rng); ok {
+				out = append(out, sql)
+			}
+		}
+	}
+	return out
+}
+
+// Generate runs all three phases.
+func (g *TemplateGen) Generate(originals []*sqlparse.Query, scale int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	info := g.ParseTemplates(originals)
+	return g.Fill(g.GenerateTemplates(info), scale, rng)
+}
+
+// fillOne renders one simplified query from a template.
+func (g *TemplateGen) fillOne(t simplifiedTemplate, rng *rand.Rand) (string, bool) {
+	cond, ok := g.randomCondition(t.condTable, t.condCol, rng)
+	if !ok {
+		return "", false
+	}
+	switch t.op {
+	case tplScan:
+		// SELECT * FROM [table] WHERE [condition]
+		return fmt.Sprintf("SELECT * FROM %s WHERE %s", t.pair.Table, cond), true
+	case tplSort:
+		// SELECT * FROM [table] WHERE [condition] ORDER BY [table.attr]
+		return fmt.Sprintf("SELECT * FROM %s WHERE %s ORDER BY %s.%s",
+			t.pair.Table, cond, t.pair.Table, t.pair.Column), true
+	case tplAgg:
+		// SELECT COUNT(*) FROM [table] WHERE [condition] GROUP BY [attribute]
+		return fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s GROUP BY %s.%s",
+			t.pair.Table, cond, t.pair.Table, t.pair.Column), true
+	case tplJoin:
+		// SELECT * FROM t1 JOIN t2 ON t1.a = t2.b WHERE [condition]
+		// (plus the ORDER BY variant, chosen randomly, per Table II).
+		base := fmt.Sprintf("SELECT * FROM %s JOIN %s ON %s.%s = %s.%s WHERE %s",
+			t.pair.Table, t.pair.Table2,
+			t.pair.Table, t.pair.Column, t.pair.Table2, t.pair.Column2, cond)
+		if rng.Intn(2) == 0 {
+			base += fmt.Sprintf(" ORDER BY %s.%s", t.pair.Table, t.pair.Column)
+		}
+		return base, true
+	}
+	return "", false
+}
+
+// randomCondition builds "[table.col] OP value" with a random operator from
+// the keyword set and a constant sampled from the data abstract R. No
+// operator type is enforced via knobs — the paper deliberately lets the
+// optimizer choose (e.g. an indexed column naturally yields index scans).
+func (g *TemplateGen) randomCondition(table, column string, rng *rand.Rand) (string, bool) {
+	v, ok := g.Stats.RandomValue(table, column, rng)
+	if !ok {
+		return "", false
+	}
+	lit := renderLiteral(v)
+	if v.IsStr {
+		// Strings support =, <>, IN, LIKE.
+		switch rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%s.%s = %s", table, column, lit), true
+		case 1:
+			return fmt.Sprintf("%s.%s <> %s", table, column, lit), true
+		case 2:
+			v2, _ := g.Stats.RandomValue(table, column, rng)
+			return fmt.Sprintf("%s.%s IN (%s, %s)", table, column, lit, renderLiteral(v2)), true
+		default:
+			core := v.S
+			if len(core) > 3 {
+				core = core[:3]
+			}
+			return fmt.Sprintf("%s.%s LIKE '%s%%'", table, column, core), true
+		}
+	}
+	ops := []string{"=", "<", ">", "<=", ">=", "IN", "BETWEEN"}
+	switch op := ops[rng.Intn(len(ops))]; op {
+	case "IN":
+		v2, _ := g.Stats.RandomValue(table, column, rng)
+		v3, _ := g.Stats.RandomValue(table, column, rng)
+		return fmt.Sprintf("%s.%s IN (%s, %s, %s)", table, column, lit, renderLiteral(v2), renderLiteral(v3)), true
+	case "BETWEEN":
+		v2, _ := g.Stats.RandomValue(table, column, rng)
+		lo, hi := v, v2
+		if lo.Compare(hi) > 0 {
+			lo, hi = hi, lo
+		}
+		return fmt.Sprintf("%s.%s BETWEEN %s AND %s", table, column, renderLiteral(lo), renderLiteral(hi)), true
+	default:
+		return fmt.Sprintf("%s.%s %s %s", table, column, op, lit), true
+	}
+}
+
+// renderLiteral formats a catalog value as a SQL literal. Scaled floats are
+// emitted with an explicit decimal point so the parser re-scales them.
+func renderLiteral(v catalog.Value) string {
+	if v.IsStr {
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	if v.IsFloat {
+		return fmt.Sprintf("%d.%02d", v.I/100, abs64(v.I%100))
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,154 @@
+// Package sqlparse implements the tokenizer, parser, and AST for the SQL
+// subset used by all three benchmarks (TPC-H-style OLAP templates,
+// job-light join queries, and Sysbench OLTP statements), as well as by the
+// simplified templates of the paper's Algorithm 1:
+//
+//	SELECT list | COUNT(*) | AGG(col)
+//	FROM t [alias] [, t2 | JOIN t2 ON a.x = b.y]...
+//	WHERE col OP literal [AND ...]          OP ∈ =, <>, <, >, <=, >=, LIKE,
+//	                                        IN (...), BETWEEN x AND y
+//	GROUP BY cols  ORDER BY cols [DESC]  LIMIT n
+//
+// Join predicates may appear either in ON clauses or in the WHERE clause
+// (implicit joins), matching how job-light queries are written.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp    // = <> < > <= >=
+	tokPunct // ( ) , . * ;
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer converts SQL text into tokens. Keywords are returned as tokIdent;
+// the parser matches them case-insensitively.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9' || (c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			l.lexOp()
+		case strings.ContainsRune("(),.*;", rune(c)):
+			l.toks = append(l.toks, token{tokPunct, string(c), l.pos})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	dots := 0
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			dots++
+			if dots > 1 {
+				return fmt.Errorf("sqlparse: malformed number at %d", start)
+			}
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{tokString, sb.String(), start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparse: unterminated string at %d", start)
+}
+
+func (l *lexer) lexOp() {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	if l.pos < len(l.src) {
+		two := string(c) + string(l.src[l.pos])
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos++
+			if two == "!=" {
+				two = "<>"
+			}
+			l.toks = append(l.toks, token{tokOp, two, start})
+			return
+		}
+	}
+	l.toks = append(l.toks, token{tokOp, string(c), start})
+}

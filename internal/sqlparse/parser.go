@@ -1,0 +1,400 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// Parse tokenizes and parses one SELECT statement.
+func Parse(sql string) (*Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("sqlparse: %w (near position %d in %q)", err, p.cur().pos, truncate(sql))
+	}
+	return q, nil
+}
+
+// MustParse parses or panics; for statically known query templates.
+func MustParse(sql string) *Query {
+	q, err := Parse(sql)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func truncate(s string) string {
+	if len(s) > 120 {
+		return s[:120] + "…"
+	}
+	return s
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+// kw reports whether the current token is the given keyword (case-insensitive)
+// and consumes it if so.
+func (p *parser) kw(word string) bool {
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, word) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// peekKw reports whether the current token is the keyword, without consuming.
+func (p *parser) peekKw(word string) bool {
+	return p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, word)
+}
+
+func (p *parser) punct(s string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.punct(s) {
+		return fmt.Errorf("expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Limit: -1}
+	if !p.kw("select") {
+		return nil, fmt.Errorf("expected SELECT, got %q", p.cur().text)
+	}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if !p.kw("from") {
+		return nil, fmt.Errorf("expected FROM, got %q", p.cur().text)
+	}
+	if err := p.parseFrom(q); err != nil {
+		return nil, err
+	}
+	if p.kw("where") {
+		if err := p.parseWhere(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.kw("group") {
+		if !p.kw("by") {
+			return nil, fmt.Errorf("expected BY after GROUP")
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, c)
+			if !p.punct(",") {
+				break
+			}
+		}
+	}
+	if p.kw("order") {
+		if !p.kw("by") {
+			return nil, fmt.Errorf("expected BY after ORDER")
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: c}
+			if p.kw("desc") {
+				item.Desc = true
+			} else {
+				p.kw("asc")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.punct(",") {
+				break
+			}
+		}
+	}
+	if p.kw("limit") {
+		if p.cur().kind != tokNumber {
+			return nil, fmt.Errorf("expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = n
+	}
+	p.punct(";")
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList(q *Query) error {
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return err
+		}
+		q.Select = append(q.Select, item)
+		if !p.punct(",") {
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.punct("*") {
+		return SelectItem{Star: true}, nil
+	}
+	if p.cur().kind != tokIdent {
+		return SelectItem{}, fmt.Errorf("expected select item, got %q", p.cur().text)
+	}
+	// Aggregate?
+	for _, agg := range []AggFunc{AggCount, AggSum, AggAvg, AggMin, AggMax} {
+		if !p.peekKw(string(agg)) {
+			continue
+		}
+		if p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(" {
+			p.next() // agg name
+			p.next() // (
+			if p.punct("*") {
+				if agg != AggCount {
+					return SelectItem{}, fmt.Errorf("%s(*) not supported", agg)
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return SelectItem{}, err
+				}
+				return SelectItem{Agg: AggCount}, nil
+			}
+			c, err := p.parseColRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Agg: agg, Col: c}, nil
+		}
+	}
+	c, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: c}, nil
+}
+
+func (p *parser) parseFrom(q *Query) error {
+	for {
+		if p.cur().kind != tokIdent {
+			return fmt.Errorf("expected table name, got %q", p.cur().text)
+		}
+		name := p.next().text
+		ref := TableRef{Name: name, Alias: name}
+		// Optional alias: a bare identifier that is not a clause keyword.
+		if p.cur().kind == tokIdent && !p.peekAnyKw("join", "inner", "on", "where", "group", "order", "limit") {
+			ref.Alias = p.next().text
+		}
+		q.Tables = append(q.Tables, ref)
+
+		switch {
+		case p.punct(","):
+			continue
+		case p.kw("inner"), p.peekKw("join"):
+			p.kw("join")
+			if err := p.parseJoinTail(q); err != nil {
+				return err
+			}
+			// parseJoinTail loops over chained JOINs itself.
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) peekAnyKw(words ...string) bool {
+	for _, w := range words {
+		if p.peekKw(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseJoinTail parses "t2 [alias] ON a.x = b.y [JOIN ...]*".
+func (p *parser) parseJoinTail(q *Query) error {
+	for {
+		if p.cur().kind != tokIdent {
+			return fmt.Errorf("expected joined table, got %q", p.cur().text)
+		}
+		name := p.next().text
+		ref := TableRef{Name: name, Alias: name}
+		if p.cur().kind == tokIdent && !p.peekAnyKw("join", "inner", "on", "where", "group", "order", "limit") {
+			ref.Alias = p.next().text
+		}
+		q.Tables = append(q.Tables, ref)
+		if !p.kw("on") {
+			return fmt.Errorf("expected ON after JOIN %s", name)
+		}
+		l, err := p.parseColRef()
+		if err != nil {
+			return err
+		}
+		if !(p.cur().kind == tokOp && p.cur().text == "=") {
+			return fmt.Errorf("expected = in join condition")
+		}
+		p.next()
+		r, err := p.parseColRef()
+		if err != nil {
+			return err
+		}
+		q.Joins = append(q.Joins, JoinCond{Left: l, Right: r})
+		if p.kw("inner") || p.peekKw("join") {
+			p.kw("join")
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseWhere(q *Query) error {
+	for {
+		if err := p.parseCondition(q); err != nil {
+			return err
+		}
+		if !p.kw("and") {
+			return nil
+		}
+	}
+}
+
+// parseCondition parses one conjunct: either a join condition col = col or
+// a predicate col OP literal(s).
+func (p *parser) parseCondition(q *Query) error {
+	col, err := p.parseColRef()
+	if err != nil {
+		return err
+	}
+	switch {
+	case p.kw("between"):
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		if !p.kw("and") {
+			return fmt.Errorf("expected AND in BETWEEN")
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		q.Preds = append(q.Preds, Predicate{Col: col, Op: OpBetween, Args: []catalog.Value{lo, hi}})
+		return nil
+	case p.kw("like"):
+		v, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		q.Preds = append(q.Preds, Predicate{Col: col, Op: OpLike, Args: []catalog.Value{v}})
+		return nil
+	case p.kw("in"):
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		var args []catalog.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return err
+			}
+			args = append(args, v)
+			if !p.punct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		q.Preds = append(q.Preds, Predicate{Col: col, Op: OpIn, Args: args})
+		return nil
+	}
+	if p.cur().kind != tokOp {
+		return fmt.Errorf("expected comparison operator, got %q", p.cur().text)
+	}
+	op := CmpOp(p.next().text)
+	// col = col → join condition (only for =).
+	if p.cur().kind == tokIdent && p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "." {
+		r, err := p.parseColRef()
+		if err != nil {
+			return err
+		}
+		if op != OpEq {
+			return fmt.Errorf("non-equi joins unsupported (%s %s %s)", col, op, r)
+		}
+		q.Joins = append(q.Joins, JoinCond{Left: col, Right: r})
+		return nil
+	}
+	v, err := p.parseLiteral()
+	if err != nil {
+		return err
+	}
+	q.Preds = append(q.Preds, Predicate{Col: col, Op: op, Args: []catalog.Value{v}})
+	return nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	if p.cur().kind != tokIdent {
+		return ColRef{}, fmt.Errorf("expected column, got %q", p.cur().text)
+	}
+	first := p.next().text
+	if p.punct(".") {
+		if p.cur().kind != tokIdent {
+			return ColRef{}, fmt.Errorf("expected column after %q.", first)
+		}
+		return ColRef{Table: first, Column: p.next().text}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *parser) parseLiteral() (catalog.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return catalog.Value{}, err
+			}
+			return catalog.FloatVal(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return catalog.Value{}, err
+		}
+		return catalog.IntVal(n), nil
+	case tokString:
+		p.next()
+		return catalog.StrVal(t.text), nil
+	}
+	return catalog.Value{}, fmt.Errorf("expected literal, got %q", t.text)
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/dbenv"
+	"repro/internal/engine"
+	"repro/internal/planner"
+	"repro/internal/sqlparse"
+)
+
+// Sample is one labeled query: its annotated physical plan (plan estimates
+// plus execution actuals) and the simulated latency under one environment.
+type Sample struct {
+	SQL   string
+	Plan  *planner.Node
+	Ms    float64
+	EnvID int
+}
+
+// Labeled is a labeled query pool for one benchmark across an environment
+// set, the unit the paper's experiments slice into scales 2000…10000.
+type Labeled struct {
+	Dataset *datagen.Dataset
+	Envs    []*dbenv.Environment
+	Samples []Sample
+}
+
+// Collect generates `perEnv` queries per environment from the benchmark's
+// templates and executes them, producing the labeled pool. Queries that
+// fail to plan are skipped (and counted); a failure rate above 10% is
+// reported as an error since it would bias the workload.
+func Collect(ds *datagen.Dataset, envs []*dbenv.Environment, perEnv int, seed int64) (*Labeled, error) {
+	templates := TemplatesFor(ds.Name)
+	if templates == nil {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", ds.Name)
+	}
+	lab := &Labeled{Dataset: ds, Envs: envs}
+	var failed, attempted int
+	for ei, env := range envs {
+		gen := NewGenerator(ds, seed+int64(ei)*7919)
+		sqls, err := gen.Generate(templates, perEnv)
+		if err != nil {
+			return nil, err
+		}
+		pl := planner.New(ds.Schema, ds.Stats, env.Knobs)
+		ex := engine.New(ds.DB, env)
+		for _, sql := range sqls {
+			attempted++
+			q, err := sqlparse.Parse(sql)
+			if err != nil {
+				failed++
+				continue
+			}
+			node, err := pl.Plan(q)
+			if err != nil {
+				failed++
+				continue
+			}
+			res, err := ex.Execute(node)
+			if err != nil {
+				failed++
+				continue
+			}
+			node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
+			lab.Samples = append(lab.Samples, Sample{SQL: sql, Plan: node, Ms: res.TotalMs, EnvID: env.ID})
+		}
+	}
+	if attempted == 0 || float64(failed)/float64(attempted) > 0.10 {
+		return nil, fmt.Errorf("workload: %d/%d labeling queries failed", failed, attempted)
+	}
+	// Shuffle once so scale-N subsets mix environments uniformly.
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	rng.Shuffle(len(lab.Samples), func(i, j int) {
+		lab.Samples[i], lab.Samples[j] = lab.Samples[j], lab.Samples[i]
+	})
+	return lab, nil
+}
+
+// Scale returns the first n samples of the shuffled pool (the paper's
+// scale-2000…10000 subsets).
+func (l *Labeled) Scale(n int) []Sample {
+	if n > len(l.Samples) {
+		n = len(l.Samples)
+	}
+	return l.Samples[:n]
+}
+
+// Split divides samples into train/test with the given train fraction
+// (the paper uses 80/20).
+func Split(samples []Sample, trainFrac float64) (train, test []Sample) {
+	cut := int(float64(len(samples)) * trainFrac)
+	return samples[:cut], samples[cut:]
+}
+
+// PlansAndLabels unzips samples for model training.
+func PlansAndLabels(samples []Sample) ([]*planner.Node, []float64) {
+	plans := make([]*planner.Node, len(samples))
+	ms := make([]float64, len(samples))
+	for i, s := range samples {
+		plans[i] = s.Plan
+		ms[i] = s.Ms
+	}
+	return plans, ms
+}
+
+// OriginalQueries parses one instantiation of every benchmark template —
+// the "original query templates P" input of Algorithm 1.
+func OriginalQueries(ds *datagen.Dataset, seed int64) ([]*sqlparse.Query, error) {
+	gen := NewGenerator(ds, seed)
+	sqls, err := gen.Generate(TemplatesFor(ds.Name), len(TemplatesFor(ds.Name)))
+	if err != nil {
+		return nil, err
+	}
+	var out []*sqlparse.Query
+	for _, sql := range sqls {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, fmt.Errorf("workload: template instantiation unparseable: %q: %w", sql, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+)
+
+// placeholderRe matches {table.column} and {table.column+delta}.
+var placeholderRe = regexp.MustCompile(`\{(\w+)\.(\w+)(\+\d+)?\}`)
+
+// Generator instantiates workload templates with constants drawn from the
+// dataset's data abstract (the column value samples in catalog.Stats).
+type Generator struct {
+	DS  *datagen.Dataset
+	rng *rand.Rand
+	// lastVal remembers the last constant drawn per column within one
+	// query, so {col+N} renders a range anchored at the {col} draw.
+	lastVal map[string]catalog.Value
+}
+
+// NewGenerator builds a deterministic generator for one dataset.
+func NewGenerator(ds *datagen.Dataset, seed int64) *Generator {
+	return &Generator{DS: ds, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Instantiate fills one template's placeholders.
+func (g *Generator) Instantiate(template string) (string, error) {
+	g.lastVal = make(map[string]catalog.Value)
+	var firstErr error
+	out := placeholderRe.ReplaceAllStringFunc(template, func(m string) string {
+		parts := placeholderRe.FindStringSubmatch(m)
+		table, column, delta := parts[1], parts[2], parts[3]
+		key := table + "." + column
+		if delta != "" {
+			base, ok := g.lastVal[key]
+			if !ok {
+				base, ok = g.DS.Stats.RandomValue(table, column, g.rng)
+				if !ok {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("workload: no data abstract for %s", key)
+					}
+					return "0"
+				}
+			}
+			var d int64
+			fmt.Sscanf(delta, "+%d", &d)
+			if base.IsFloat {
+				d *= 100
+			}
+			return renderValue(catalog.Value{I: base.I + d, IsFloat: base.IsFloat})
+		}
+		v, ok := g.DS.Stats.RandomValue(table, column, g.rng)
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("workload: no data abstract for %s", key)
+			}
+			return "0"
+		}
+		g.lastVal[key] = v
+		return renderValue(v)
+	})
+	return out, firstErr
+}
+
+// Generate produces n concrete queries by cycling the template list.
+func (g *Generator) Generate(templates []string, n int) ([]string, error) {
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("workload: no templates")
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		sql, err := g.Instantiate(templates[i%len(templates)])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sql)
+	}
+	return out, nil
+}
+
+// renderValue formats a constant as a SQL literal.
+func renderValue(v catalog.Value) string {
+	if v.IsStr {
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	if v.IsFloat {
+		frac := v.I % 100
+		if frac < 0 {
+			frac = -frac
+		}
+		return fmt.Sprintf("%d.%02d", v.I/100, frac)
+	}
+	return fmt.Sprintf("%d", v.I)
+}

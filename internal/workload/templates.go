@@ -1,0 +1,186 @@
+// Package workload defines the three benchmark query workloads (TPC-H's 22
+// analytical templates, job-light's 70 join queries, Sysbench's
+// oltp_read_only mix), instantiates them with constants drawn from the data
+// abstract, and collects labeled query executions across environment sets —
+// the experimental raw material of the paper's §V.
+package workload
+
+// Template placeholders take the form {table.column} (replaced by a random
+// value from that column's data abstract) or {table.column+N} (the last
+// value drawn for that column in this query, plus N — used for ranges like
+// Sysbench's BETWEEN id AND id+100).
+
+// TPCHTemplates returns the 22 TPC-H-analog templates, rewritten into this
+// repo's SQL subset (no subqueries/HAVING/arithmetic) while preserving each
+// query's operator mix: table set, join shape, predicates, grouping, and
+// ordering.
+func TPCHTemplates() []string {
+	return []string{
+		// Q1: pricing summary report.
+		"SELECT COUNT(*), SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount) FROM lineitem WHERE l_shipdate <= {lineitem.l_shipdate} GROUP BY l_returnflag ORDER BY l_returnflag",
+		// Q2: minimum cost supplier (flattened).
+		"SELECT * FROM part JOIN partsupp ON part.p_partkey = partsupp.ps_partkey WHERE p_size = {part.p_size} ORDER BY part.p_retailprice",
+		// Q3: shipping priority.
+		"SELECT COUNT(*) FROM customer, orders, lineitem WHERE customer.c_custkey = orders.o_custkey AND orders.o_orderkey = lineitem.l_orderkey AND c_mktsegment = {customer.c_mktsegment} AND o_orderdate < {orders.o_orderdate} GROUP BY o_orderpriority",
+		// Q4: order priority checking.
+		"SELECT COUNT(*) FROM orders WHERE o_orderdate BETWEEN {orders.o_orderdate} AND {orders.o_orderdate+90} GROUP BY o_orderpriority ORDER BY o_orderpriority",
+		// Q5: local supplier volume.
+		"SELECT COUNT(*) FROM nation, supplier, lineitem WHERE nation.n_nationkey = supplier.s_nationkey AND supplier.s_suppkey = lineitem.l_suppkey AND n_regionkey = {nation.n_regionkey} GROUP BY n_name",
+		// Q6: forecasting revenue change.
+		"SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_shipdate BETWEEN {lineitem.l_shipdate} AND {lineitem.l_shipdate+365} AND l_quantity < {lineitem.l_quantity}",
+		// Q7: volume shipping.
+		"SELECT COUNT(*) FROM nation, customer, orders WHERE nation.n_nationkey = customer.c_nationkey AND customer.c_custkey = orders.o_custkey AND o_orderdate >= {orders.o_orderdate} GROUP BY n_name ORDER BY n_name",
+		// Q8: national market share.
+		"SELECT COUNT(*) FROM region, nation, supplier WHERE region.r_regionkey = nation.n_regionkey AND nation.n_nationkey = supplier.s_nationkey AND s_acctbal > {supplier.s_acctbal}",
+		// Q9: product type profit measure.
+		"SELECT COUNT(*), SUM(ps_supplycost) FROM part, partsupp, supplier WHERE part.p_partkey = partsupp.ps_partkey AND partsupp.ps_suppkey = supplier.s_suppkey AND p_brand = {part.p_brand} GROUP BY p_brand",
+		// Q10: returned item reporting.
+		"SELECT COUNT(*) FROM customer, orders, lineitem WHERE customer.c_custkey = orders.o_custkey AND orders.o_orderkey = lineitem.l_orderkey AND l_returnflag = 'R' AND o_orderdate >= {orders.o_orderdate} GROUP BY c_nationkey",
+		// Q11: important stock identification.
+		"SELECT SUM(ps_availqty), COUNT(*) FROM partsupp JOIN supplier ON partsupp.ps_suppkey = supplier.s_suppkey WHERE s_nationkey = {supplier.s_nationkey} GROUP BY ps_partkey",
+		// Q12: shipping modes and order priority.
+		"SELECT COUNT(*) FROM orders JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey WHERE l_shipmode IN ({lineitem.l_shipmode}, {lineitem.l_shipmode}) AND l_shipdate > {lineitem.l_shipdate} GROUP BY l_shipmode",
+		// Q13: customer distribution.
+		"SELECT COUNT(*) FROM customer JOIN orders ON customer.c_custkey = orders.o_custkey WHERE o_orderpriority <> {orders.o_orderpriority} GROUP BY c_nationkey",
+		// Q14: promotion effect.
+		"SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem JOIN part ON lineitem.l_partkey = part.p_partkey WHERE l_shipdate BETWEEN {lineitem.l_shipdate} AND {lineitem.l_shipdate+30}",
+		// Q15: top supplier (flattened).
+		"SELECT SUM(l_extendedprice), COUNT(*) FROM supplier JOIN lineitem ON supplier.s_suppkey = lineitem.l_suppkey WHERE l_shipdate >= {lineitem.l_shipdate} GROUP BY s_name",
+		// Q16: parts/supplier relationship.
+		"SELECT COUNT(*) FROM part JOIN partsupp ON part.p_partkey = partsupp.ps_partkey WHERE p_brand <> {part.p_brand} AND p_size IN ({part.p_size}, {part.p_size}, {part.p_size}) GROUP BY p_brand",
+		// Q17: small-quantity-order revenue.
+		"SELECT AVG(l_extendedprice), COUNT(*) FROM lineitem JOIN part ON lineitem.l_partkey = part.p_partkey WHERE p_brand = {part.p_brand} AND l_quantity < {lineitem.l_quantity}",
+		// Q18: large volume customer.
+		"SELECT * FROM customer, orders, lineitem WHERE customer.c_custkey = orders.o_custkey AND orders.o_orderkey = lineitem.l_orderkey AND o_totalprice > {orders.o_totalprice} ORDER BY orders.o_totalprice DESC LIMIT 100",
+		// Q19: discounted revenue.
+		"SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem JOIN part ON lineitem.l_partkey = part.p_partkey WHERE p_size BETWEEN {part.p_size} AND {part.p_size+15} AND l_quantity BETWEEN {lineitem.l_quantity} AND {lineitem.l_quantity+10}",
+		// Q20: potential part promotion.
+		"SELECT COUNT(*) FROM supplier JOIN partsupp ON supplier.s_suppkey = partsupp.ps_suppkey WHERE ps_availqty > {partsupp.ps_availqty} GROUP BY s_name ORDER BY s_name",
+		// Q21: suppliers who kept orders waiting.
+		"SELECT COUNT(*) FROM supplier, lineitem, orders WHERE supplier.s_suppkey = lineitem.l_suppkey AND lineitem.l_orderkey = orders.o_orderkey AND o_orderstatus = 'F' GROUP BY s_name",
+		// Q22: global sales opportunity.
+		"SELECT COUNT(*), AVG(c_acctbal) FROM customer WHERE c_acctbal > {customer.c_acctbal} GROUP BY c_nationkey ORDER BY c_nationkey",
+	}
+}
+
+// JobLightTemplates returns the 70-query job-light workload over the IMDB
+// schema: title joined with one to four fact tables on movie_id, filtered
+// by the standard job-light predicate columns (production_year ranges,
+// kind_id, info_type_id, company_type_id, role_id). Every query is a
+// COUNT(*), as in the original benchmark.
+func JobLightTemplates() []string {
+	fact := []struct{ table, pred string }{
+		{"movie_info", "movie_info.info_type_id = {movie_info.info_type_id}"},
+		{"cast_info", "cast_info.role_id = {cast_info.role_id}"},
+		{"movie_keyword", "movie_keyword.keyword_id = {movie_keyword.keyword_id}"},
+		{"movie_companies", "movie_companies.company_type_id = {movie_companies.company_type_id}"},
+		{"movie_info_idx", "movie_info_idx.info_type_id = {movie_info_idx.info_type_id}"},
+	}
+	titlePreds := []string{
+		"title.production_year > {title.production_year}",
+		"title.production_year BETWEEN {title.production_year} AND {title.production_year+10}",
+		"title.kind_id = {title.kind_id}",
+		"title.production_year < {title.production_year}",
+	}
+	var out []string
+	build := func(tables []int, withFactPred bool, titlePred string) {
+		sql := "SELECT COUNT(*) FROM title"
+		var conds []string
+		for _, fi := range tables {
+			sql += ", " + fact[fi].table
+			conds = append(conds, "title.id = "+fact[fi].table+".movie_id")
+			if withFactPred {
+				conds = append(conds, fact[fi].pred)
+			}
+		}
+		if titlePred != "" {
+			conds = append(conds, titlePred)
+		}
+		sql += " WHERE " + joinConds(conds)
+		out = append(out, sql)
+	}
+	// 1-way joins: 5 tables × 4 title predicates, with and without fact
+	// predicates for the first two = 5×4 = 20, plus 5 no-fact-pred = 25.
+	for fi := range fact {
+		for _, tp := range titlePreds {
+			build([]int{fi}, true, tp)
+		}
+		build([]int{fi}, false, titlePreds[0])
+	}
+	// 2-way joins: all 10 pairs × 2 title predicates = 20. Fact predicates
+	// are always present on multi-way joins, as in the real job-light
+	// workload — without them fact⋈fact cardinalities through a popular
+	// movie explode multiplicatively.
+	for a := 0; a < len(fact); a++ {
+		for b := a + 1; b < len(fact); b++ {
+			build([]int{a, b}, true, titlePreds[0])
+			build([]int{a, b}, true, titlePreds[2])
+		}
+	}
+	// 3-way joins: all 10 triples = 10.
+	for a := 0; a < len(fact); a++ {
+		for b := a + 1; b < len(fact); b++ {
+			for c := b + 1; c < len(fact); c++ {
+				build([]int{a, b, c}, true, titlePreds[1])
+			}
+		}
+	}
+	// 4-way joins: all 5 quadruples = 5.
+	for skip := 0; skip < len(fact); skip++ {
+		var tables []int
+		for fi := range fact {
+			if fi != skip {
+				tables = append(tables, fi)
+			}
+		}
+		build(tables, true, titlePreds[3])
+	}
+	// Total: 25 + 20 + 10 + 5 = 60; add 10 pure-title scans for operator
+	// coverage, reaching the original workload's 70 queries.
+	for i := 0; i < 10; i++ {
+		build(nil, false, titlePreds[i%len(titlePreds)])
+	}
+	return out
+}
+
+// SysbenchTemplates returns the oltp_read_only statement mix: ten point
+// selects, plus the four range statements (simple range, sum, order,
+// grouped — standing in for distinct) per transaction, as in
+// oltp_read_only.lua.
+func SysbenchTemplates() []string {
+	out := make([]string, 0, 14)
+	for i := 0; i < 10; i++ {
+		out = append(out, "SELECT * FROM sbtest1 WHERE id = {sbtest1.id}")
+	}
+	out = append(out,
+		"SELECT * FROM sbtest1 WHERE id BETWEEN {sbtest1.id} AND {sbtest1.id+100}",
+		"SELECT SUM(k) FROM sbtest1 WHERE id BETWEEN {sbtest1.id} AND {sbtest1.id+100}",
+		"SELECT * FROM sbtest1 WHERE id BETWEEN {sbtest1.id} AND {sbtest1.id+100} ORDER BY sbtest1.c",
+		"SELECT COUNT(*) FROM sbtest1 WHERE id BETWEEN {sbtest1.id} AND {sbtest1.id+100} GROUP BY sbtest1.c",
+	)
+	return out
+}
+
+// TemplatesFor returns the workload templates of a benchmark by name.
+func TemplatesFor(benchmark string) []string {
+	switch benchmark {
+	case "tpch":
+		return TPCHTemplates()
+	case "imdb":
+		return JobLightTemplates()
+	case "sysbench":
+		return SysbenchTemplates()
+	}
+	return nil
+}
+
+func joinConds(conds []string) string {
+	s := ""
+	for i, c := range conds {
+		if i > 0 {
+			s += " AND "
+		}
+		s += c
+	}
+	return s
+}

@@ -1,0 +1,249 @@
+// Package qcfe is the public API of this repository: a reproduction of
+// "QCFE: An Efficient Feature Engineering for Query Cost Estimation"
+// (ICDE 2024) together with every substrate it needs — a SQL engine with
+// planner, executor and environment simulator, two learned cost estimators
+// (QPPNet, MSCN), a PostgreSQL-style analytic baseline, and the QCFE
+// feature pipeline (feature snapshot + difference-propagation feature
+// reduction).
+//
+// # Quickstart
+//
+//	bench, _ := qcfe.OpenBenchmark("sysbench", 1)
+//	envs := qcfe.RandomEnvironments(4, 1)
+//	pool, _ := bench.CollectWorkload(envs, 200, 1)
+//	train, test := pool.Split(0.8)
+//	est, _ := qcfe.NewPipeline("mscn").Fit(bench, envs, train)
+//	fmt.Println(est.Evaluate(test).Mean) // mean q-error
+//
+// See examples/ for runnable programs and internal/experiments for the
+// paper's full evaluation harness.
+package qcfe
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dbenv"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/pgcost"
+	"repro/internal/planner"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+// Environment is a database environment: knobs × hardware × storage
+// format — the paper's "ignored variables".
+type Environment = dbenv.Environment
+
+// Summary bundles the evaluation metrics (mean/percentile q-error,
+// Pearson correlation).
+type Summary = metrics.Summary
+
+// DefaultEnvironment returns the baseline environment.
+func DefaultEnvironment() *Environment { return dbenv.Default() }
+
+// RandomEnvironments samples n environments the way the paper samples its
+// twenty random knob configurations.
+func RandomEnvironments(n int, seed int64) []*Environment {
+	return dbenv.SampleSet(n, seed)
+}
+
+// Benchmark is one loaded benchmark dataset (schema, data, statistics)
+// plus its workload templates.
+type Benchmark struct {
+	ds *datagen.Dataset
+}
+
+// OpenBenchmark builds a benchmark dataset by name: "tpch", "imdb"
+// (job-light), or "sysbench". Generation is deterministic per seed.
+func OpenBenchmark(name string, seed int64) (*Benchmark, error) {
+	ds, err := datagen.Build(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Benchmark{ds: ds}, nil
+}
+
+// Name returns the benchmark name.
+func (b *Benchmark) Name() string { return b.ds.Name }
+
+// Dataset exposes the underlying dataset for advanced use.
+func (b *Benchmark) Dataset() *datagen.Dataset { return b.ds }
+
+// QueryResult is one executed query.
+type QueryResult struct {
+	// Plan is the executed physical plan, annotated with per-node
+	// estimates and actuals; Plan.Explain() renders it.
+	Plan *planner.Node
+	// Ms is the simulated execution latency.
+	Ms float64
+	// Rows is the number of result rows.
+	Rows int
+}
+
+// Execute plans and runs one SQL query under an environment.
+func (b *Benchmark) Execute(env *Environment, sql string) (*QueryResult, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	pl := planner.New(b.ds.Schema, b.ds.Stats, env.Knobs)
+	node, err := pl.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.New(b.ds.DB, env).Execute(node)
+	if err != nil {
+		return nil, err
+	}
+	node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
+	return &QueryResult{Plan: node, Ms: res.TotalMs, Rows: len(res.Rows)}, nil
+}
+
+// AnalyticEstimateMs prices a plan with the PostgreSQL-style cost model
+// (the paper's PGSQL baseline).
+func (b *Benchmark) AnalyticEstimateMs(plan *planner.Node) float64 {
+	return pgcost.New(b.ds.Stats).EstimateMs(plan)
+}
+
+// Workload is a labeled query pool collected across environments.
+type Workload struct {
+	lab *workload.Labeled
+}
+
+// CollectWorkload runs perEnv benchmark queries in every environment and
+// labels them with simulated latency.
+func (b *Benchmark) CollectWorkload(envs []*Environment, perEnv int, seed int64) (*Workload, error) {
+	lab, err := workload.Collect(b.ds, envs, perEnv, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{lab: lab}, nil
+}
+
+// Len returns the pool size.
+func (w *Workload) Len() int { return len(w.lab.Samples) }
+
+// Split divides the pool into train/test sample slices.
+func (w *Workload) Split(trainFrac float64) (train, test []workload.Sample) {
+	return workload.Split(w.lab.Samples, trainFrac)
+}
+
+// Scale returns the first n samples (the paper's scale subsets).
+func (w *Workload) Scale(n int) []workload.Sample { return w.lab.Scale(n) }
+
+// Pipeline configures a QCFE training run.
+type Pipeline struct {
+	cfg core.Config
+}
+
+// Option customizes a pipeline.
+type Option func(*core.Config)
+
+// WithoutSnapshot disables the feature-snapshot block (general FE only).
+func WithoutSnapshot() Option { return func(c *core.Config) { c.UseSnapshot = false } }
+
+// WithSnapshotMode selects FSO ("fso": original queries) or FST ("fst":
+// simplified templates) snapshot labeling.
+func WithSnapshotMode(mode string) Option {
+	return func(c *core.Config) { c.SnapshotMode = core.SnapshotMode(mode) }
+}
+
+// WithReduction selects the feature-reduction method: "fr", "gd",
+// "greedy", or "none".
+func WithReduction(method string) Option {
+	return func(c *core.Config) { c.Reduction = core.ReductionMethod(method) }
+}
+
+// WithTrainIters sets the training iteration budget.
+func WithTrainIters(n int) Option { return func(c *core.Config) { c.TrainIters = n } }
+
+// WithTemplateScale sets Algorithm 1's template scale N.
+func WithTemplateScale(n int) Option { return func(c *core.Config) { c.TemplateScale = n } }
+
+// WithSeed fixes the random seed.
+func WithSeed(seed int64) Option { return func(c *core.Config) { c.Seed = seed } }
+
+// WithReferences sets the number of difference-propagation references |R|.
+func WithReferences(n int) Option { return func(c *core.Config) { c.NumReferences = n } }
+
+// NewPipeline builds a pipeline for the given estimator ("qppnet" or
+// "mscn") with QCFE's default configuration (FST snapshot, FR reduction).
+func NewPipeline(model string, opts ...Option) *Pipeline {
+	cfg := core.DefaultConfig(model)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Pipeline{cfg: cfg}
+}
+
+// CostEstimator is a trained model bound to its feature pipeline.
+type CostEstimator struct {
+	res   *core.Result
+	bench *Benchmark
+	envs  []*Environment
+	cfg   core.Config
+}
+
+// Fit trains the pipeline on labeled samples collected over envs.
+func (p *Pipeline) Fit(b *Benchmark, envs []*Environment, train []workload.Sample) (*CostEstimator, error) {
+	res, err := core.Run(b.ds, envs, train, p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CostEstimator{res: res, bench: b, envs: envs, cfg: p.cfg}, nil
+}
+
+// EstimateMs predicts the execution time of a plan in milliseconds.
+func (e *CostEstimator) EstimateMs(plan *planner.Node) float64 {
+	return e.res.Model.PredictMs(plan)
+}
+
+// EstimateSQL plans a query under env and predicts its cost without
+// executing it.
+func (e *CostEstimator) EstimateSQL(env *Environment, sql string) (float64, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	pl := planner.New(e.bench.ds.Schema, e.bench.ds.Stats, env.Knobs)
+	node, err := pl.Plan(q)
+	if err != nil {
+		return 0, err
+	}
+	node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
+	return e.res.Model.PredictMs(node), nil
+}
+
+// Evaluate computes q-error and correlation metrics on test samples.
+func (e *CostEstimator) Evaluate(test []workload.Sample) Summary {
+	return core.Evaluate(e.res.Model, test)
+}
+
+// TrainSeconds returns the wall-clock training time.
+func (e *CostEstimator) TrainSeconds() float64 { return e.res.TrainTime.Seconds() }
+
+// ReductionRatio returns the fraction of features pruned (0 when
+// reduction was disabled).
+func (e *CostEstimator) ReductionRatio() float64 { return e.res.ReductionRatio }
+
+// SnapshotCollectionMs returns the simulated cost of labeling the feature
+// snapshot.
+func (e *CostEstimator) SnapshotCollectionMs() float64 { return e.res.SnapshotMs }
+
+// Transfer adapts the estimator to a new environment (§V-E): refit only
+// the feature snapshot there and retrain briefly on a small labeled set.
+func (e *CostEstimator) Transfer(newEnv *Environment, train []workload.Sample, retrainIters int) (*CostEstimator, error) {
+	tr, err := core.Transfer(e.res, e.bench.ds, newEnv, train, e.cfg, retrainIters)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{Model: tr.Model, F: e.res.F, TrainTime: tr.RetrainTime, SnapshotMs: tr.SnapshotMs}
+	return &CostEstimator{res: res, bench: e.bench, envs: []*Environment{newEnv}, cfg: e.cfg}, nil
+}
+
+// QError returns the paper's Equation 2 metric for one prediction.
+func QError(actualMs, predictMs float64) float64 { return metrics.QError(actualMs, predictMs) }
+
+// Benchmarks lists the supported benchmark names.
+func Benchmarks() []string { return datagen.BenchmarkNames() }

@@ -1,0 +1,148 @@
+package qcfe
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpenBenchmarkNames(t *testing.T) {
+	for _, name := range Benchmarks() {
+		b, err := OpenBenchmark(name, 1)
+		if err != nil {
+			t.Fatalf("OpenBenchmark(%s): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Fatalf("name = %q", b.Name())
+		}
+	}
+	if _, err := OpenBenchmark("oracle", 1); err == nil {
+		t.Fatalf("unknown benchmark should error")
+	}
+}
+
+func TestExecuteAndExplain(t *testing.T) {
+	b, err := OpenBenchmark("sysbench", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := DefaultEnvironment()
+	res, err := b.Execute(env, "SELECT * FROM sbtest1 WHERE id = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 1 || res.Ms <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !strings.Contains(res.Plan.Explain(), "Index Scan") {
+		t.Fatalf("explain:\n%s", res.Plan.Explain())
+	}
+	if b.AnalyticEstimateMs(res.Plan) <= 0 {
+		t.Fatalf("analytic estimate not positive")
+	}
+	if _, err := b.Execute(env, "not sql"); err == nil {
+		t.Fatalf("bad SQL should error")
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	b, err := OpenBenchmark("sysbench", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := RandomEnvironments(3, 1)
+	pool, err := b.CollectWorkload(envs, 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Len() != 360 {
+		t.Fatalf("pool = %d", pool.Len())
+	}
+	train, test := pool.Split(0.8)
+	est, err := NewPipeline("mscn",
+		WithTrainIters(120), WithReferences(40), WithSeed(2),
+	).Fit(b, envs, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := est.Evaluate(test)
+	if sum.Pearson < 0.4 {
+		t.Fatalf("pearson = %v", sum.Pearson)
+	}
+	if est.TrainSeconds() <= 0 || est.SnapshotCollectionMs() <= 0 {
+		t.Fatalf("bookkeeping missing")
+	}
+	// SQL-level estimation round trip.
+	pred, err := est.EstimateSQL(envs[0], "SELECT COUNT(*) FROM sbtest1 WHERE id BETWEEN 100 AND 300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < 0 {
+		t.Fatalf("negative prediction")
+	}
+	if _, err := est.EstimateSQL(envs[0], "garbage"); err == nil {
+		t.Fatalf("bad SQL should error")
+	}
+}
+
+func TestPipelineOptions(t *testing.T) {
+	b, err := OpenBenchmark("sysbench", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := RandomEnvironments(2, 1)
+	pool, err := b.CollectWorkload(envs, 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := pool.Split(0.8)
+	est, err := NewPipeline("qppnet",
+		WithoutSnapshot(), WithReduction("none"), WithTrainIters(60),
+		WithSnapshotMode("fst"), WithTemplateScale(1),
+	).Fit(b, envs, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ReductionRatio() != 0 || est.SnapshotCollectionMs() != 0 {
+		t.Fatalf("disabled stages leaked: %v %v", est.ReductionRatio(), est.SnapshotCollectionMs())
+	}
+	_ = est.Evaluate(test)
+}
+
+func TestTransferAPI(t *testing.T) {
+	b, err := OpenBenchmark("sysbench", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := RandomEnvironments(2, 1)
+	pool, err := b.CollectWorkload(envs, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _ := pool.Split(0.8)
+	est, err := NewPipeline("mscn", WithTrainIters(80), WithReferences(30)).Fit(b, envs, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := DefaultEnvironment()
+	h2.ID = 77
+	h2.Knobs.WorkMemKB = 256
+	pool2, err := b.CollectWorkload([]*Environment{h2}, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, te2 := pool2.Split(0.8)
+	trans, err := est.Transfer(h2, tr2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := trans.Evaluate(te2)
+	if sum.Mean < 1 {
+		t.Fatalf("impossible q-error %v", sum.Mean)
+	}
+}
+
+func TestQErrorExported(t *testing.T) {
+	if QError(10, 5) != 2 {
+		t.Fatalf("QError broken")
+	}
+}
