@@ -4,11 +4,15 @@
 // Usage:
 //
 //	qcfe-bench -exp table4 -benchmark tpch -size quick
-//	qcfe-bench -exp all -size med
+//	qcfe-bench -exp all -size med -workers 8
 //
 // Experiments: fig1, table4, fig5, fig6, fig7, table5, table6, table7,
 // fig8, all. Sizes: quick (seconds), med (minutes), full (the paper's
-// scales; tens of minutes).
+// scales; tens of minutes). Independent experiments and the labeling
+// pipeline underneath them fan out over the worker pool (see -workers);
+// every number printed is identical at any worker count, though with
+// -exp all the experiment *blocks* appear in completion order, which may
+// vary between runs when workers > 1.
 package main
 
 import (
@@ -17,13 +21,17 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: fig1|table4|fig5|fig6|fig7|table5|table6|table7|fig8|all")
 	benchmark := flag.String("benchmark", "", "benchmark: tpch|sysbench|imdb (default: all applicable)")
 	size := flag.String("size", "med", "grid size: quick|med|full")
+	workers := flag.Int("workers", 0, "per-fan-out worker cap for parallel labeling and experiments; nested stages each use up to this many goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	parallel.SetDefaultWorkers(*workers)
 
 	var params experiments.Params
 	switch *size {
@@ -43,7 +51,7 @@ func main() {
 	if *benchmark != "" {
 		benchmarks = []string{*benchmark}
 	}
-	if err := run(suite, *exp, benchmarks); err != nil {
+	if err := suite.RunAll(*exp, benchmarks); err != nil {
 		fmt.Fprintf(os.Stderr, "qcfe-bench: %v\n", err)
 		os.Exit(1)
 	}
@@ -52,76 +60,11 @@ func main() {
 // MedParams is a middle grid: every experiment, reduced pools.
 func MedParams() experiments.Params {
 	return experiments.Params{
-		NumEnvs: 10,
-		PerEnv:  map[string]int{"tpch": 400, "sysbench": 500, "imdb": 300},
-		Scales:  []int{1000, 2000, 4000},
-		Iters:   map[string]int{"tpch": 600, "sysbench": 150, "imdb": 600},
-		Seed:    1,
+		NumEnvs:     10,
+		PerEnv:      map[string]int{"tpch": 400, "sysbench": 500, "imdb": 300},
+		Scales:      []int{1000, 2000, 4000},
+		Iters:       map[string]int{"tpch": 600, "sysbench": 150, "imdb": 600},
+		Fig1Queries: 500,
+		Seed:        1,
 	}
-}
-
-func run(s *experiments.Suite, exp string, benchmarks []string) error {
-	do := func(id string) bool { return exp == id || exp == "all" }
-	if do("fig1") {
-		if _, err := s.Figure1(); err != nil {
-			return err
-		}
-	}
-	for _, b := range benchmarks {
-		if do("table4") {
-			if _, err := s.Table4(b); err != nil {
-				return err
-			}
-		}
-		if do("fig5") {
-			if _, err := s.Figure5(b); err != nil {
-				return err
-			}
-		}
-		if do("fig6") {
-			if _, err := s.Figure6(b); err != nil {
-				return err
-			}
-		}
-	}
-	if do("fig7") {
-		if _, err := s.Figure7(); err != nil {
-			return err
-		}
-	}
-	if do("table5") {
-		for _, b := range benchmarks {
-			if b == "sysbench" {
-				continue // the paper runs Table V on TPC-H and job-light only
-			}
-			scales := []int{1, 2, 3, 4}
-			if b == "imdb" {
-				scales = []int{2, 4, 6, 8}
-			}
-			if _, err := s.Table5(b, scales); err != nil {
-				return err
-			}
-		}
-	}
-	if do("table6") {
-		if _, err := s.Table6([]int{200, 250, 300, 400, 500}); err != nil {
-			return err
-		}
-	}
-	for _, b := range benchmarks {
-		if b == "sysbench" {
-			continue // §V-E evaluates transfer on TPC-H and job-light
-		}
-		if do("table7") {
-			if _, err := s.Table7(b); err != nil {
-				return err
-			}
-		}
-		if do("fig8") {
-			if _, err := s.Figure8(b); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }

@@ -30,12 +30,15 @@ import (
 // hitting the bound fail cleanly and are skipped by workload collection.
 const maxJoinRows = 5_000_000
 
-// Executor runs plans for one dataset inside one environment.
+// Executor runs plans for one dataset inside one environment. It holds no
+// mutable state besides the serial-convenience query counter, and DB and
+// Env are read-only during execution, so concurrent labeling uses one
+// Executor per goroutine over the same database (see internal/parallel).
 type Executor struct {
 	DB  *storage.Database
 	Env *dbenv.Environment
 
-	querySeq int64 // monotone counter feeding the noise stream
+	querySeq int64 // monotone counter feeding Execute's noise stream
 }
 
 // New builds an executor.
@@ -52,9 +55,20 @@ type Result struct {
 }
 
 // Execute runs the plan and returns rows plus simulated time. The plan's
-// Actual* fields are overwritten.
+// Actual* fields are overwritten. The noise sequence advances with every
+// call, so Execute is not safe for concurrent use on one Executor;
+// parallel callers use ExecuteSeq with an explicit sequence instead.
 func (e *Executor) Execute(root *planner.Node) (*Result, error) {
 	e.querySeq++
+	return e.ExecuteSeq(root, e.querySeq)
+}
+
+// ExecuteSeq runs the plan with an explicit noise sequence number. The
+// per-query jitter is derived only from (environment ID, seq), so a caller
+// that assigns each query a fixed sequence — e.g. its index in the
+// generated workload — gets bit-identical labels no matter how many
+// goroutines execute the workload or in what order.
+func (e *Executor) ExecuteSeq(root *planner.Node, seq int64) (*Result, error) {
 	rows, err := e.exec(root)
 	if err != nil {
 		return nil, err
@@ -64,7 +78,7 @@ func (e *Executor) Execute(root *planner.Node) (*Result, error) {
 	}
 	// One multiplicative noise factor per query, applied to every node so
 	// per-node and total times stay consistent.
-	f := e.Env.Noise(e.querySeq)
+	f := e.Env.Noise(seq)
 	root.Walk(func(n *planner.Node) { n.ActualMs *= f })
 	return &Result{Rows: rows, TotalMs: root.TotalMs()}, nil
 }

@@ -10,6 +10,10 @@ import (
 var testSuite = NewSuite(QuickParams(), nil)
 
 func TestFigure1SpreadAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment grid; skipped in -short (CI) mode")
+	}
+	t.Parallel()
 	var buf bytes.Buffer
 	s := NewSuite(QuickParams(), &buf)
 	cells, err := s.Figure1()
@@ -31,6 +35,7 @@ func TestFigure1SpreadAndShape(t *testing.T) {
 }
 
 func TestTable4SysbenchShape(t *testing.T) {
+	t.Parallel()
 	rows, err := testSuite.Table4("sysbench")
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +75,7 @@ func TestTable4SysbenchShape(t *testing.T) {
 }
 
 func TestFigure5FromTable4(t *testing.T) {
+	t.Parallel()
 	rows, err := testSuite.Figure5("sysbench")
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +94,7 @@ func TestFigure5FromTable4(t *testing.T) {
 }
 
 func TestFigure6Ablation(t *testing.T) {
+	t.Parallel()
 	rows, err := testSuite.Figure6("sysbench")
 	if err != nil {
 		t.Fatal(err)
@@ -110,6 +117,10 @@ func TestFigure6Ablation(t *testing.T) {
 }
 
 func TestFigure7ReductionCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment grid; skipped in -short (CI) mode")
+	}
+	t.Parallel()
 	rows, err := testSuite.Figure7()
 	if err != nil {
 		t.Fatal(err)
@@ -133,6 +144,10 @@ func TestFigure7ReductionCounts(t *testing.T) {
 }
 
 func TestTable5TemplateScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment grid; skipped in -short (CI) mode")
+	}
+	t.Parallel()
 	// The paper runs Table V on the analytical benchmarks (TPC-H and
 	// job-light) where original queries are expensive multi-joins; the
 	// simplified-template saving does not apply to Sysbench's point reads.
@@ -156,6 +171,9 @@ func TestTable5TemplateScales(t *testing.T) {
 }
 
 func TestTable6ReferenceRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment grid; skipped in -short (CI) mode")
+	}
 	rows, err := testSuite.Table6([]int{20, 60})
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +192,9 @@ func TestTable6ReferenceRobustness(t *testing.T) {
 }
 
 func TestTable7Transfer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment grid; skipped in -short (CI) mode")
+	}
 	rows, err := testSuite.Table7("sysbench")
 	if err != nil {
 		t.Fatal(err)
@@ -203,6 +224,10 @@ func TestTable7Transfer(t *testing.T) {
 }
 
 func TestFigure8Convergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment grid; skipped in -short (CI) mode")
+	}
+	t.Parallel()
 	series, err := testSuite.Figure8("sysbench")
 	if err != nil {
 		t.Fatal(err)

@@ -4,8 +4,6 @@ import (
 	"repro/internal/dbenv"
 	"repro/internal/engine"
 	"repro/internal/metrics"
-	"repro/internal/planner"
-	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
 
@@ -16,9 +14,10 @@ type Fig1Cell struct {
 	AvgMs     float64
 }
 
-// Figure1 reproduces the paper's Figure 1: the average cost of 1000 queries
-// in TPCH and Sysbench under five database environments, demonstrating the
-// 2–3× spread that motivates the feature snapshot.
+// Figure1 reproduces the paper's Figure 1: the average cost of the probe
+// workload (1000 queries at paper scale; Params.Fig1Queries) in TPCH and
+// Sysbench under five database environments, demonstrating the 2–3×
+// spread that motivates the feature snapshot.
 func (s *Suite) Figure1() ([]Fig1Cell, error) {
 	v, err := s.memo("fig1", func() (any, error) { return s.figure1Impl() })
 	if err != nil {
@@ -28,42 +27,43 @@ func (s *Suite) Figure1() ([]Fig1Cell, error) {
 }
 
 func (s *Suite) figure1Impl() ([]Fig1Cell, error) {
-	const queries = 1000
+	queries := s.P.fig1Queries()
 	envs := dbenv.SampleSet(5, s.P.Seed+17)
-	var out []Fig1Cell
-	s.printf("Figure 1: average query cost (ms) of %d queries under 5 environments\n", queries)
+	rep := s.newReport()
+	defer rep.flush()
+	rep.printf("Figure 1: average query cost (ms) of %d queries under 5 environments\n", queries)
+	// One cell per (benchmark, environment). Each benchmark's full (env ×
+	// query) grid flattens into a single pool fan-out; per-query times land
+	// in index-addressed slots, so the cell averages are deterministic.
+	var cells []Fig1Cell
 	for _, bench := range []string{"tpch", "sysbench"} {
 		ds := s.Dataset(bench)
+		var tasks []engine.PoolTask
 		for _, env := range envs {
 			gen := workload.NewGenerator(ds, s.P.Seed+int64(env.ID))
 			sqls, err := gen.Generate(workload.TemplatesFor(bench), queries)
 			if err != nil {
 				return nil, err
 			}
-			pl := planner.New(ds.Schema, ds.Stats, env.Knobs)
-			ex := engine.New(ds.DB, env)
-			var times []float64
-			for _, sql := range sqls {
-				q, err := sqlparse.Parse(sql)
-				if err != nil {
-					continue
-				}
-				node, err := pl.Plan(q)
-				if err != nil {
-					continue
-				}
-				res, err := ex.Execute(node)
-				if err != nil {
-					continue
-				}
-				times = append(times, res.TotalMs)
+			for qi, sql := range sqls {
+				tasks = append(tasks, engine.PoolTask{Env: env, Seq: int64(qi + 1), SQL: sql})
 			}
-			cell := Fig1Cell{Benchmark: bench, EnvID: env.ID, AvgMs: metrics.Mean(times)}
-			out = append(out, cell)
-			s.printf("  %-9s env#%d  avg=%.3f ms\n", bench, env.ID, cell.AvgMs)
+		}
+		results := engine.ExecutePool(ds.Schema, ds.Stats, ds.DB, tasks, 0)
+		for ei, env := range envs {
+			var times []float64
+			for ti := ei * queries; ti < (ei+1)*queries; ti++ {
+				if results[ti].OK {
+					times = append(times, results[ti].Ms)
+				}
+			}
+			cells = append(cells, Fig1Cell{Benchmark: bench, EnvID: env.ID, AvgMs: metrics.Mean(times)})
 		}
 	}
-	return out, nil
+	for _, cell := range cells {
+		rep.printf("  %-9s env#%d  avg=%.3f ms\n", cell.Benchmark, cell.EnvID, cell.AvgMs)
+	}
+	return cells, nil
 }
 
 // Fig1Spread summarizes max/min average cost per benchmark — the paper's

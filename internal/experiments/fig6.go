@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -65,9 +66,10 @@ func (s *Suite) figure6Impl(benchmark string) ([]Fig6Row, error) {
 		return nil, err
 	}
 
-	var out []Fig6Row
-	s.printf("Figure 6 (%s, scale=%d, qppnet): ablation of QCFE design choices\n", benchmark, scale)
-	for _, v := range variants {
+	// The five ablation arms are independent fits over the shared read-only
+	// pool and snapshots; they run concurrently and report in paper order.
+	out, err := parallel.Map(len(variants), 0, func(vi int) (Fig6Row, error) {
+		v := variants[vi]
 		cfg := core.DefaultConfig("qppnet")
 		cfg.SnapshotMode = v.mode
 		cfg.Reduction = v.reduction
@@ -79,19 +81,26 @@ func (s *Suite) figure6Impl(benchmark string) ([]Fig6Row, error) {
 		}
 		res, err := core.Run(ds, s.Envs(), train, cfg)
 		if err != nil {
-			return nil, err
+			return Fig6Row{}, err
 		}
 		qe := core.QErrors(res.Model, test)
 		sum := core.Evaluate(res.Model, test)
-		row := Fig6Row{
+		return Fig6Row{
 			Benchmark: benchmark, Variant: v.name,
 			MeanQ:   sum.Mean,
 			Median:  metrics.Percentile(qe, 50),
 			P90:     metrics.Percentile(qe, 90),
 			Pearson: sum.Pearson,
-		}
-		out = append(out, row)
-		s.printf("  %-10s mean=%.3f median=%.3f p90=%.3f pearson=%.3f\n",
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := s.newReport()
+	defer rep.flush()
+	rep.printf("Figure 6 (%s, scale=%d, qppnet): ablation of QCFE design choices\n", benchmark, scale)
+	for _, row := range out {
+		rep.printf("  %-10s mean=%.3f median=%.3f p90=%.3f pearson=%.3f\n",
 			row.Variant, row.MeanQ, row.Median, row.P90, row.Pearson)
 	}
 	return out, nil

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/featred"
+	"repro/internal/parallel"
 	"repro/internal/planner"
 	"repro/internal/workload"
 )
@@ -53,12 +54,14 @@ func (s *Suite) figure7Impl() ([]Fig7Row, error) {
 	cfg := core.DefaultConfig("qppnet")
 	cfg.Seed = s.P.Seed
 
-	var out []Fig7Row
-	s.printf("Figure 7 (tpch): features dropped per operator by Greedy / GD / FR\n")
-	for _, op := range planner.AllOpTypes() {
+	// One probe model per operator type; the probes are independent and run
+	// concurrently. Operators too rare to probe return a nil row.
+	ops := planner.AllOpTypes()
+	probed, err := parallel.Map(len(ops), 0, func(oi int) (*Fig7Row, error) {
+		op := ops[oi]
 		sub := filterByOp(full, op)
 		if len(sub.X) < 30 {
-			continue // operator too rare in the workload to probe
+			return nil, nil // operator too rare in the workload to probe
 		}
 		sub = sub.Subsample(cfg.ProbeSamples, cfg.Seed)
 		probe := featred.TrainProbe(sub, 32, cfg.ProbeEpochs, cfg.Seed)
@@ -69,15 +72,27 @@ func (s *Suite) figure7Impl() ([]Fig7Row, error) {
 			featred.GradientScores(probe, sub.X), cfg.Threshold)
 		greedyMask := featred.GreedyReduce(probe, sub.Subsample(300, cfg.Seed))
 
-		row := Fig7Row{
+		return &Fig7Row{
 			Operator:   op.String(),
 			TotalDim:   sub.Dim(),
 			DropFR:     sub.Dim() - featred.CountKept(frMask),
 			DropGD:     sub.Dim() - featred.CountKept(gdMask),
 			DropGreedy: sub.Dim() - featred.CountKept(greedyMask),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Row
+	rep := s.newReport()
+	defer rep.flush()
+	rep.printf("Figure 7 (tpch): features dropped per operator by Greedy / GD / FR\n")
+	for _, row := range probed {
+		if row == nil {
+			continue
 		}
-		out = append(out, row)
-		s.printf("  %-12s dim=%d  greedy=%d  gd=%d  fr=%d\n",
+		out = append(out, *row)
+		rep.printf("  %-12s dim=%d  greedy=%d  gd=%d  fr=%d\n",
 			row.Operator, row.TotalDim, row.DropGreedy, row.DropGD, row.DropFR)
 	}
 	return out, nil

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// ExperimentIDs lists the runnable experiment identifiers in paper order.
+func ExperimentIDs() []string {
+	return []string{"fig1", "table4", "fig5", "fig6", "fig7", "table5", "table6", "table7", "fig8"}
+}
+
+// RunAll executes the selected experiments ("all" or an id from
+// ExperimentIDs) over the given benchmarks. Independent figure/table
+// runners fan out over the worker pool — they share pools and snapshots
+// through the suite's singleflight cache, and each flushes its printed
+// block atomically. The two timing experiments (Table VI's FR-runtime
+// column and Table VII/Figure 8's retraining-time comparison) run
+// afterwards, serially, so their wall-clock measurements do not contend
+// with other runners for cores.
+func (s *Suite) RunAll(exp string, benchmarks []string) error {
+	if !validExperiment(exp) {
+		return fmt.Errorf("experiments: unknown experiment %q", exp)
+	}
+	do := func(id string) bool { return exp == id || exp == "all" }
+
+	var jobs []func() error
+	add := func(id string, f func() error) {
+		if do(id) {
+			jobs = append(jobs, f)
+		}
+	}
+	add("fig1", func() error { _, err := s.Figure1(); return err })
+	for _, b := range benchmarks {
+		b := b
+		add("table4", func() error { _, err := s.Table4(b); return err })
+		add("fig5", func() error { _, err := s.Figure5(b); return err })
+		add("fig6", func() error { _, err := s.Figure6(b); return err })
+	}
+	add("fig7", func() error { _, err := s.Figure7(); return err })
+	for _, b := range benchmarks {
+		b := b
+		if b == "sysbench" {
+			continue // the paper runs Table V on TPC-H and job-light only
+		}
+		scales := []int{1, 2, 3, 4}
+		if b == "imdb" {
+			scales = []int{2, 4, 6, 8}
+		}
+		add("table5", func() error { _, err := s.Table5(b, scales); return err })
+	}
+	if err := parallel.Do(0, jobs...); err != nil {
+		return err
+	}
+
+	// Timing-sensitive experiments, serial and last.
+	if do("table6") {
+		if _, err := s.Table6([]int{200, 250, 300, 400, 500}); err != nil {
+			return err
+		}
+	}
+	for _, b := range benchmarks {
+		if b == "sysbench" {
+			continue // §V-E evaluates transfer on TPC-H and job-light
+		}
+		if do("table7") {
+			if _, err := s.Table7(b); err != nil {
+				return err
+			}
+		}
+		if do("fig8") {
+			if _, err := s.Figure8(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validExperiment(exp string) bool {
+	if exp == "all" {
+		return true
+	}
+	for _, id := range ExperimentIDs() {
+		if exp == id {
+			return true
+		}
+	}
+	return false
+}

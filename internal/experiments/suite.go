@@ -2,11 +2,19 @@
 // evaluation (§V). Each runner prints the same rows or series the paper
 // reports and returns them as structured data for the benchmark harness.
 //
+// Runners are independent and safe to invoke concurrently: every shared
+// artifact (dataset, environment set, labeled pool, snapshot set, runner
+// result) is built exactly once behind a singleflight cache, and each
+// runner buffers its human-readable block and flushes it atomically, so
+// parallel runs do not interleave lines. RunAll fans independent runners
+// out over the worker pool.
+//
 // The experiment → module mapping lives in DESIGN.md; the measured-vs-paper
 // comparison lives in EXPERIMENTS.md.
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sync"
@@ -22,11 +30,12 @@ import (
 // workload configuration scaled to the in-repo datasets; Quick shrinks
 // everything for unit tests.
 type Params struct {
-	NumEnvs int            // environment (knob-config) count; paper: 20
-	PerEnv  map[string]int // labeled queries per environment per benchmark
-	Scales  []int          // labeled-set scales; paper: 2000…10000
-	Iters   map[string]int // training iterations per benchmark
-	Seed    int64
+	NumEnvs     int            // environment (knob-config) count; paper: 20
+	PerEnv      map[string]int // labeled queries per environment per benchmark
+	Scales      []int          // labeled-set scales; paper: 2000…10000
+	Iters       map[string]int // training iterations per benchmark
+	Fig1Queries int            // probe queries per Figure 1 cell; paper: 1000
+	Seed        int64
 }
 
 // DefaultParams reproduces the paper's workload configuration: 20
@@ -34,129 +43,170 @@ type Params struct {
 // labeled queries; scales 2000–10000; iterations 400/100/800.
 func DefaultParams() Params {
 	return Params{
-		NumEnvs: 20,
-		PerEnv:  map[string]int{"tpch": 880, "sysbench": 700, "imdb": 700},
-		Scales:  []int{2000, 4000, 6000, 8000, 10000},
-		Iters:   map[string]int{"tpch": 1200, "sysbench": 300, "imdb": 1500},
-		Seed:    1,
+		NumEnvs:     20,
+		PerEnv:      map[string]int{"tpch": 880, "sysbench": 700, "imdb": 700},
+		Scales:      []int{2000, 4000, 6000, 8000, 10000},
+		Iters:       map[string]int{"tpch": 1200, "sysbench": 300, "imdb": 1500},
+		Fig1Queries: 1000,
+		Seed:        1,
 	}
 }
 
-// QuickParams shrinks the grid for tests (4 envs, small pools, 2 scales).
+// QuickParams shrinks the grid for tests (4 envs, small pools, 2 scales,
+// 250-query Figure 1 cells).
 func QuickParams() Params {
 	return Params{
-		NumEnvs: 4,
-		PerEnv:  map[string]int{"tpch": 60, "sysbench": 100, "imdb": 50},
-		Scales:  []int{120, 200},
-		Iters:   map[string]int{"tpch": 60, "sysbench": 60, "imdb": 60},
-		Seed:    1,
+		NumEnvs:     4,
+		PerEnv:      map[string]int{"tpch": 60, "sysbench": 100, "imdb": 50},
+		Scales:      []int{120, 200},
+		Iters:       map[string]int{"tpch": 60, "sysbench": 60, "imdb": 60},
+		Fig1Queries: 250,
+		Seed:        1,
 	}
+}
+
+// fig1Queries returns the configured Figure 1 cell size (paper default
+// when unset).
+func (p Params) fig1Queries() int {
+	if p.Fig1Queries > 0 {
+		return p.Fig1Queries
+	}
+	return 1000
+}
+
+// call is one singleflight slot: the first goroutine to claim a key runs
+// the computation inside the Once; everyone else blocks on the same Once
+// and reads the shared result.
+type call struct {
+	once sync.Once
+	v    any
+	err  error
 }
 
 // Suite owns the shared state of an experiment run: datasets, environment
-// set, labeled pools, and per-benchmark snapshots, all built lazily and
-// cached.
+// set, labeled pools, per-benchmark snapshots, and memoized runner
+// results, all built lazily, exactly once, and shared across concurrent
+// runners.
 type Suite struct {
 	P   Params
 	Out io.Writer
 
-	mu       sync.Mutex
-	envs     []*dbenv.Environment
-	datasets map[string]*datagen.Dataset
-	pools    map[string]*workload.Labeled
-	snaps    map[string]map[int]*snapshot.Snapshot
-	snapMs   map[string]float64
-	t4cache  map[string][]Table4Row
-	memoed   map[string]any
+	mu    sync.Mutex // guards calls
+	calls map[string]*call
+
+	outMu sync.Mutex // serializes flushed report blocks on Out
 }
 
 // NewSuite builds a suite writing its human-readable rows to out.
 func NewSuite(p Params, out io.Writer) *Suite {
-	return &Suite{
-		P: p, Out: out,
-		datasets: make(map[string]*datagen.Dataset),
-		pools:    make(map[string]*workload.Labeled),
-		snaps:    make(map[string]map[int]*snapshot.Snapshot),
-		snapMs:   make(map[string]float64),
-		t4cache:  make(map[string][]Table4Row),
-		memoed:   make(map[string]any),
+	return &Suite{P: p, Out: out, calls: make(map[string]*call)}
+}
+
+// memo runs compute exactly once per key — across repeated and concurrent
+// callers — and returns the shared result. Experiment runners are memoized
+// so that benchmark harnesses (which may invoke them many times as
+// testing.B scales b.N) and parallel runners (which share pools and
+// snapshots) do the expensive work — and print their report — once per
+// suite.
+func (s *Suite) memo(key string, compute func() (any, error)) (any, error) {
+	s.mu.Lock()
+	c, ok := s.calls[key]
+	if !ok {
+		c = &call{}
+		s.calls[key] = c
+	}
+	s.mu.Unlock()
+	c.once.Do(func() { c.v, c.err = compute() })
+	return c.v, c.err
+}
+
+// report accumulates one experiment's printed block and flushes it to the
+// suite's writer in a single critical section, keeping concurrent runners'
+// output readable.
+type report struct {
+	s   *Suite
+	buf bytes.Buffer
+}
+
+func (s *Suite) newReport() *report { return &report{s: s} }
+
+func (r *report) printf(format string, args ...any) {
+	if r.s.Out != nil {
+		fmt.Fprintf(&r.buf, format, args...)
 	}
 }
 
-func (s *Suite) printf(format string, args ...any) {
-	if s.Out != nil {
-		fmt.Fprintf(s.Out, format, args...)
+func (r *report) flush() {
+	if r.s.Out == nil || r.buf.Len() == 0 {
+		return
 	}
+	r.s.outMu.Lock()
+	defer r.s.outMu.Unlock()
+	r.s.Out.Write(r.buf.Bytes())
+	r.buf.Reset()
 }
 
 // Envs returns the sampled environment set (the paper's 20 random knob
 // configurations).
 func (s *Suite) Envs() []*dbenv.Environment {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.envs == nil {
-		s.envs = dbenv.SampleSet(s.P.NumEnvs, s.P.Seed)
-	}
-	return s.envs
+	v, _ := s.memo("envs", func() (any, error) {
+		return dbenv.SampleSet(s.P.NumEnvs, s.P.Seed), nil
+	})
+	return v.([]*dbenv.Environment)
 }
 
 // Dataset returns (building if needed) the named benchmark dataset.
 func (s *Suite) Dataset(name string) *datagen.Dataset {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ds, ok := s.datasets[name]; ok {
-		return ds
-	}
-	ds, err := datagen.Build(name, s.P.Seed)
+	v, err := s.memo("dataset:"+name, func() (any, error) {
+		return datagen.Build(name, s.P.Seed)
+	})
 	if err != nil {
 		panic(err)
 	}
-	s.datasets[name] = ds
-	return ds
+	return v.(*datagen.Dataset)
 }
 
 // Pool returns the labeled query pool for a benchmark, collecting it on
 // first use.
 func (s *Suite) Pool(name string) (*workload.Labeled, error) {
-	ds := s.Dataset(name)
-	envs := s.Envs()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p, ok := s.pools[name]; ok {
-		return p, nil
-	}
-	perEnv := s.P.PerEnv[name]
-	if perEnv == 0 {
-		perEnv = 100
-	}
-	lab, err := workload.Collect(ds, envs, perEnv, s.P.Seed)
+	v, err := s.memo("pool:"+name, func() (any, error) {
+		perEnv := s.P.PerEnv[name]
+		if perEnv == 0 {
+			perEnv = 100
+		}
+		return workload.Collect(s.Dataset(name), s.Envs(), perEnv, s.P.Seed)
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.pools[name] = lab
-	return lab, nil
+	return v.(*workload.Labeled), nil
+}
+
+// snapshotSet bundles the per-environment snapshots with their total
+// collection cost.
+type snapshotSet struct {
+	snaps map[int]*snapshot.Snapshot
+	ms    float64
 }
 
 // Snapshots returns the default (FST, scale 2) per-environment snapshots
 // for a benchmark, fitting them on first use, plus the total collection
 // cost in simulated ms.
 func (s *Suite) Snapshots(name string) (map[int]*snapshot.Snapshot, float64, error) {
-	ds := s.Dataset(name)
-	envs := s.Envs()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sn, ok := s.snaps[name]; ok {
-		return sn, s.snapMs[name], nil
-	}
-	cfg := core.DefaultConfig("mscn")
-	cfg.Seed = s.P.Seed
-	snaps, ms, err := core.BuildSnapshots(ds, envs, cfg)
+	v, err := s.memo("snapshots:"+name, func() (any, error) {
+		cfg := core.DefaultConfig("mscn")
+		cfg.Seed = s.P.Seed
+		snaps, ms, err := core.BuildSnapshots(s.Dataset(name), s.Envs(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &snapshotSet{snaps: snaps, ms: ms}, nil
+	})
 	if err != nil {
 		return nil, 0, err
 	}
-	s.snaps[name] = snaps
-	s.snapMs[name] = ms
-	return snaps, ms, nil
+	set := v.(*snapshotSet)
+	return set.snaps, set.ms, nil
 }
 
 // trainIters returns the per-benchmark iteration budget.
@@ -169,24 +219,3 @@ func (s *Suite) trainIters(name string) int {
 
 // Iters exposes the per-benchmark iteration map (default 200).
 func (s *Suite) Iters() map[string]int { return s.P.Iters }
-
-// memo runs compute once per key and caches the result. Experiment runners
-// are memoized so that benchmark harnesses (which may invoke them many
-// times as testing.B scales b.N) do the expensive work — and print their
-// report — exactly once per suite.
-func (s *Suite) memo(key string, compute func() (any, error)) (any, error) {
-	s.mu.Lock()
-	if v, ok := s.memoed[key]; ok {
-		s.mu.Unlock()
-		return v, nil
-	}
-	s.mu.Unlock()
-	v, err := compute()
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.memoed[key] = v
-	s.mu.Unlock()
-	return v, nil
-}

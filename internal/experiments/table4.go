@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/pgcost"
 	"repro/internal/workload"
 )
@@ -31,12 +32,14 @@ var table4Methods = []string{"PGSQL", "QCFE(mscn)", "QCFE(qpp)", "MSCN", "QPPNet
 // QCFE(qpp) across labeled-set scales. The returned rows also carry the
 // per-query q-errors, which Figure5 consumes.
 func (s *Suite) Table4(benchmark string) ([]Table4Row, error) {
-	s.mu.Lock()
-	cached := s.t4cache[benchmark]
-	s.mu.Unlock()
-	if cached != nil {
-		return cached, nil
+	v, err := s.memo("table4:"+benchmark, func() (any, error) { return s.table4Impl(benchmark) })
+	if err != nil {
+		return nil, err
 	}
+	return v.([]Table4Row), nil
+}
+
+func (s *Suite) table4Impl(benchmark string) ([]Table4Row, error) {
 	pool, err := s.Pool(benchmark)
 	if err != nil {
 		return nil, err
@@ -47,53 +50,72 @@ func (s *Suite) Table4(benchmark string) ([]Table4Row, error) {
 	}
 	ds := s.Dataset(benchmark)
 	iters := s.trainIters(benchmark)
-	var rows []Table4Row
-	s.printf("Table IV (%s): pearson / mean q-error / training time\n", benchmark)
+	// The (scale × method) grid cells are independent model fits over
+	// read-only pools, so they run concurrently; rows come back in grid
+	// order and each fit is internally seeded, keeping results identical to
+	// a serial run. TrainSec is each cell's own wall-clock fit time and
+	// inflates under contention when cells share cores — the relative
+	// ordering between methods survives, but to reproduce the paper's
+	// absolute training-time column run with -workers 1.
+	type cell struct {
+		scale  int
+		method string
+	}
+	var grid []cell
 	for _, scale := range s.P.Scales {
-		train, test := workload.Split(pool.Scale(scale), 0.8)
 		for _, method := range table4Methods {
-			row := Table4Row{Benchmark: benchmark, Model: method, Scale: scale}
-			switch method {
-			case "PGSQL":
-				start := time.Now()
-				model := pgcost.New(ds.Stats)
-				actual := make([]float64, len(test))
-				pred := make([]float64, len(test))
-				qe := make([]float64, len(test))
-				for i, smp := range test {
-					actual[i] = smp.Ms
-					pred[i] = model.EstimateMs(smp.Plan)
-					qe[i] = metrics.QError(actual[i], pred[i])
-				}
-				sum := metrics.Summarize(actual, pred)
-				row.Pearson, row.MeanQ = sum.Pearson, sum.Mean
-				row.TrainSec = time.Since(start).Seconds()
-				row.QErrors = qe
-			default:
-				cfg, useQCFE := methodConfig(method)
-				cfg.TrainIters = iters
-				cfg.Seed = s.P.Seed
-				if useQCFE {
-					cfg.Prebuilt = snaps
-					cfg.PrebuiltMs = snapMs
-				}
-				res, err := core.Run(ds, s.Envs(), train, cfg)
-				if err != nil {
-					return nil, err
-				}
-				sum := core.Evaluate(res.Model, test)
-				row.Pearson, row.MeanQ = sum.Pearson, sum.Mean
-				row.TrainSec = res.TrainTime.Seconds() + res.ReductionTime.Seconds()
-				row.QErrors = core.QErrors(res.Model, test)
-			}
-			rows = append(rows, row)
-			s.printf("  scale=%-6d %-11s pearson=%.3f mean=%.3f time=%.2fs\n",
-				scale, method, row.Pearson, row.MeanQ, row.TrainSec)
+			grid = append(grid, cell{scale: scale, method: method})
 		}
 	}
-	s.mu.Lock()
-	s.t4cache[benchmark] = rows
-	s.mu.Unlock()
+	rows, err := parallel.Map(len(grid), 0, func(gi int) (Table4Row, error) {
+		scale, method := grid[gi].scale, grid[gi].method
+		train, test := workload.Split(pool.Scale(scale), 0.8)
+		row := Table4Row{Benchmark: benchmark, Model: method, Scale: scale}
+		switch method {
+		case "PGSQL":
+			start := time.Now()
+			model := pgcost.New(ds.Stats)
+			actual := make([]float64, len(test))
+			pred := make([]float64, len(test))
+			qe := make([]float64, len(test))
+			for i, smp := range test {
+				actual[i] = smp.Ms
+				pred[i] = model.EstimateMs(smp.Plan)
+				qe[i] = metrics.QError(actual[i], pred[i])
+			}
+			sum := metrics.Summarize(actual, pred)
+			row.Pearson, row.MeanQ = sum.Pearson, sum.Mean
+			row.TrainSec = time.Since(start).Seconds()
+			row.QErrors = qe
+		default:
+			cfg, useQCFE := methodConfig(method)
+			cfg.TrainIters = iters
+			cfg.Seed = s.P.Seed
+			if useQCFE {
+				cfg.Prebuilt = snaps
+				cfg.PrebuiltMs = snapMs
+			}
+			res, err := core.Run(ds, s.Envs(), train, cfg)
+			if err != nil {
+				return Table4Row{}, err
+			}
+			sum := core.Evaluate(res.Model, test)
+			row.Pearson, row.MeanQ = sum.Pearson, sum.Mean
+			row.TrainSec = res.TrainTime.Seconds() + res.ReductionTime.Seconds()
+			row.QErrors = core.QErrors(res.Model, test)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := s.newReport()
+	defer rep.flush()
+	rep.printf("Table IV (%s): pearson / mean q-error / training time\n", benchmark)
+	for _, row := range rows {
+		rep.printf("  scale=%-6d %-11s pearson=%.3f mean=%.3f time=%.2fs\n",
+			row.Scale, row.Model, row.Pearson, row.MeanQ, row.TrainSec)
+	}
 	return rows, nil
 }
 
@@ -147,7 +169,9 @@ func (s *Suite) figure5Impl(benchmark string) ([]Fig5Row, error) {
 		return nil, err
 	}
 	var out []Fig5Row
-	s.printf("Figure 5 (%s): q-error quartiles\n", benchmark)
+	rep := s.newReport()
+	defer rep.flush()
+	rep.printf("Figure 5 (%s): q-error quartiles\n", benchmark)
 	for _, r := range rows {
 		if r.Model == "PGSQL" {
 			continue // the paper's Figure 5 plots the learned estimators
@@ -160,7 +184,7 @@ func (s *Suite) figure5Impl(benchmark string) ([]Fig5Row, error) {
 			P90:    metrics.Percentile(r.QErrors, 90),
 		}
 		out = append(out, f)
-		s.printf("  scale=%-6d %-11s p25=%.3f p50=%.3f p75=%.3f p90=%.3f\n",
+		rep.printf("  scale=%-6d %-11s p25=%.3f p50=%.3f p75=%.3f p90=%.3f\n",
 			f.Scale, f.Model, f.P25, f.Median, f.P75, f.P90)
 	}
 	return out, nil

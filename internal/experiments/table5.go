@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -61,21 +62,25 @@ func (s *Suite) table5Impl(benchmark string, scales []int) ([]Table5Row, error) 
 		}, nil
 	}
 
-	var out []Table5Row
-	s.printf("Table V (%s): FSO vs FST template scales (mean q-error / collection cost)\n", benchmark)
-	row, err := runWith("FSO", core.FSO, 0)
+	// FSO plus one arm per FST scale: independent fits, run concurrently.
+	out, err := parallel.Map(1+len(scales), 0, func(i int) (Table5Row, error) {
+		if i == 0 {
+			return runWith("FSO", core.FSO, 0)
+		}
+		return runWith("FST", core.FST, scales[i-1])
+	})
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, row)
-	s.printf("  %-8s mean=%.3f collect=%.1f ms\n", row.Variant, row.MeanQ, row.CollectionMs)
-	for _, ts := range scales {
-		row, err := runWith("FST", core.FST, ts)
-		if err != nil {
-			return nil, err
+	rep := s.newReport()
+	defer rep.flush()
+	rep.printf("Table V (%s): FSO vs FST template scales (mean q-error / collection cost)\n", benchmark)
+	for _, row := range out {
+		if row.Variant == "FSO" {
+			rep.printf("  %-8s mean=%.3f collect=%.1f ms\n", row.Variant, row.MeanQ, row.CollectionMs)
+		} else {
+			rep.printf("  FST(%d)   mean=%.3f collect=%.1f ms\n", row.Scale, row.MeanQ, row.CollectionMs)
 		}
-		out = append(out, row)
-		s.printf("  FST(%d)   mean=%.3f collect=%.1f ms\n", ts, row.MeanQ, row.CollectionMs)
 	}
 	return out, nil
 }

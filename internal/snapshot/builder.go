@@ -6,7 +6,6 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dbenv"
 	"repro/internal/engine"
-	"repro/internal/planner"
 	"repro/internal/sqlparse"
 )
 
@@ -35,30 +34,27 @@ type BuildResult struct {
 	QueriesRun int
 }
 
-// FromQueries executes the given labeling queries and fits the snapshot.
-// Queries that fail to plan (e.g. templates referencing another schema) are
-// skipped; at least one successful query is required.
+// FromQueries executes the given labeling queries across the worker pool
+// and fits the snapshot. Queries that fail to plan (e.g. templates
+// referencing another schema) are skipped; at least one successful query
+// is required. Each query's noise sequence is its index in sqls and the
+// fan-in runs in index order, so the fitted snapshot and its collection
+// cost are identical at any worker count.
 func (b *Builder) FromQueries(sqls []string) (*BuildResult, error) {
-	pl := planner.New(b.DS.Schema, b.DS.Stats, b.Env.Knobs)
-	ex := engine.New(b.DS.DB, b.Env)
+	tasks := make([]engine.PoolTask, len(sqls))
+	for i, sql := range sqls {
+		tasks[i] = engine.PoolTask{Env: b.Env, Seq: int64(i + 1), SQL: sql}
+	}
+	results := engine.ExecutePool(b.DS.Schema, b.DS.Stats, b.DS.DB, tasks, 0)
 	var samples []OpSample
 	var totalMs float64
 	var ran int
-	for _, sql := range sqls {
-		q, err := sqlparse.Parse(sql)
-		if err != nil {
+	for _, r := range results {
+		if !r.OK {
 			continue
 		}
-		node, err := pl.Plan(q)
-		if err != nil {
-			continue
-		}
-		res, err := ex.Execute(node)
-		if err != nil {
-			continue
-		}
-		totalMs += res.TotalMs
-		samples = append(samples, CollectSamples(node)...)
+		totalMs += r.Ms
+		samples = append(samples, CollectSamples(r.Node)...)
 		ran++
 	}
 	if ran == 0 {

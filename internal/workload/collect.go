@@ -29,47 +29,51 @@ type Labeled struct {
 }
 
 // Collect generates `perEnv` queries per environment from the benchmark's
-// templates and executes them, producing the labeled pool. Queries that
-// fail to plan are skipped (and counted); a failure rate above 10% is
-// reported as an error since it would bias the workload.
+// templates and executes them across the default worker pool, producing
+// the labeled pool. Queries that fail to plan are skipped (and counted); a
+// failure rate above 10% is reported as an error since it would bias the
+// workload.
 func Collect(ds *datagen.Dataset, envs []*dbenv.Environment, perEnv int, seed int64) (*Labeled, error) {
+	return CollectWorkers(ds, envs, perEnv, seed, 0)
+}
+
+// CollectWorkers is Collect with an explicit worker count (<= 0 selects
+// the process default). The pool it returns is bit-identical for every
+// worker count: queries are generated serially per environment, each
+// (env, query-index) pair carries its own noise sequence, and samples are
+// assembled in generation order before the seed-keyed shuffle.
+func CollectWorkers(ds *datagen.Dataset, envs []*dbenv.Environment, perEnv int, seed int64, workers int) (*Labeled, error) {
 	templates := TemplatesFor(ds.Name)
 	if templates == nil {
 		return nil, fmt.Errorf("workload: unknown benchmark %q", ds.Name)
 	}
 	lab := &Labeled{Dataset: ds, Envs: envs}
-	var failed, attempted int
+	tasks := make([]engine.PoolTask, 0, len(envs)*perEnv)
 	for ei, env := range envs {
 		gen := NewGenerator(ds, seed+int64(ei)*7919)
 		sqls, err := gen.Generate(templates, perEnv)
 		if err != nil {
 			return nil, err
 		}
-		pl := planner.New(ds.Schema, ds.Stats, env.Knobs)
-		ex := engine.New(ds.DB, env)
-		for _, sql := range sqls {
-			attempted++
-			q, err := sqlparse.Parse(sql)
-			if err != nil {
-				failed++
-				continue
-			}
-			node, err := pl.Plan(q)
-			if err != nil {
-				failed++
-				continue
-			}
-			res, err := ex.Execute(node)
-			if err != nil {
-				failed++
-				continue
-			}
-			node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
-			lab.Samples = append(lab.Samples, Sample{SQL: sql, Plan: node, Ms: res.TotalMs, EnvID: env.ID})
+		for qi, sql := range sqls {
+			tasks = append(tasks, engine.PoolTask{Env: env, Seq: int64(qi + 1), SQL: sql})
 		}
 	}
-	if attempted == 0 || float64(failed)/float64(attempted) > 0.10 {
-		return nil, fmt.Errorf("workload: %d/%d labeling queries failed", failed, attempted)
+	results := engine.ExecutePool(ds.Schema, ds.Stats, ds.DB, tasks, workers)
+
+	// Deterministic fan-in: samples in generation order, failures counted.
+	var failed int
+	for ti, r := range results {
+		if !r.OK {
+			failed++
+			continue
+		}
+		env := tasks[ti].Env
+		r.Node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
+		lab.Samples = append(lab.Samples, Sample{SQL: tasks[ti].SQL, Plan: r.Node, Ms: r.Ms, EnvID: env.ID})
+	}
+	if len(tasks) == 0 || float64(failed)/float64(len(tasks)) > 0.10 {
+		return nil, fmt.Errorf("workload: %d/%d labeling queries failed", failed, len(tasks))
 	}
 	// Shuffle once so scale-N subsets mix environments uniformly.
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))

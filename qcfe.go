@@ -25,11 +25,17 @@ import (
 	"repro/internal/dbenv"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/pgcost"
 	"repro/internal/planner"
 	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
+
+// SetWorkers sets the process-wide worker-pool size used by workload
+// collection and snapshot labeling (0 restores the GOMAXPROCS default).
+// Labeled pools are bit-identical at any worker count.
+func SetWorkers(n int) { parallel.SetDefaultWorkers(n) }
 
 // Environment is a database environment: knobs × hardware × storage
 // format — the paper's "ignored variables".
@@ -81,14 +87,26 @@ type QueryResult struct {
 	Rows int
 }
 
-// Execute plans and runs one SQL query under an environment.
-func (b *Benchmark) Execute(env *Environment, sql string) (*QueryResult, error) {
+// planAnnotated parses and plans one SQL query against a dataset under an
+// environment, tagging every node with the environment ID — the shared
+// front half of executing a query (Benchmark.Execute) and pricing one
+// without running it (CostEstimator.EstimateSQL).
+func planAnnotated(ds *datagen.Dataset, env *Environment, sql string) (*planner.Node, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	pl := planner.New(b.ds.Schema, b.ds.Stats, env.Knobs)
-	node, err := pl.Plan(q)
+	node, err := planner.New(ds.Schema, ds.Stats, env.Knobs).Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
+	return node, nil
+}
+
+// Execute plans and runs one SQL query under an environment.
+func (b *Benchmark) Execute(env *Environment, sql string) (*QueryResult, error) {
+	node, err := planAnnotated(b.ds, env, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +114,6 @@ func (b *Benchmark) Execute(env *Environment, sql string) (*QueryResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
 	return &QueryResult{Plan: node, Ms: res.TotalMs, Rows: len(res.Rows)}, nil
 }
 
@@ -202,16 +219,10 @@ func (e *CostEstimator) EstimateMs(plan *planner.Node) float64 {
 // EstimateSQL plans a query under env and predicts its cost without
 // executing it.
 func (e *CostEstimator) EstimateSQL(env *Environment, sql string) (float64, error) {
-	q, err := sqlparse.Parse(sql)
+	node, err := planAnnotated(e.bench.ds, env, sql)
 	if err != nil {
 		return 0, err
 	}
-	pl := planner.New(e.bench.ds.Schema, e.bench.ds.Stats, env.Knobs)
-	node, err := pl.Plan(q)
-	if err != nil {
-		return 0, err
-	}
-	node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
 	return e.res.Model.PredictMs(node), nil
 }
 
