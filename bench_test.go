@@ -52,6 +52,14 @@ func benchParams() experiments.Params {
 
 func benchSuite(b *testing.B) *experiments.Suite {
 	b.Helper()
+	// Same guard as the internal/experiments tests: even the quick grid
+	// collects thousands of labeled queries, so `go test -short -bench=.`
+	// must never enter it. (The per-package microbenchmarks in
+	// internal/... stay available under -short; only the experiment-grid
+	// benchmarks here are heavy.)
+	if testing.Short() {
+		b.Skip("heavy experiment grid; skipped in -short (CI) mode")
+	}
 	suiteOnce.Do(func() {
 		suite = experiments.NewSuite(benchParams(), os.Stdout)
 	})

@@ -13,6 +13,18 @@
 // every number printed is identical at any worker count, though with
 // -exp all the experiment *blocks* appear in completion order, which may
 // vary between runs when workers > 1.
+//
+// With -micro the command instead runs the estimator-stack
+// microbenchmarks (train iters/sec, predictions/sec, batched vs scalar)
+// on the quick grid and writes the machine-readable BENCH_PR2.json rows.
+// This is the CI benchmark-regression pipeline:
+//
+//	qcfe-bench -micro -out BENCH_PR2.json -baseline BENCH_PR2.json
+//
+// exits non-zero when a gated predictions/sec row regresses more than
+// -tolerance against the (machine-normalized) baseline, or when the
+// batched training iteration fails the -min-train-speedup floor against
+// the retained scalar reference path.
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 )
@@ -29,9 +42,22 @@ func main() {
 	benchmark := flag.String("benchmark", "", "benchmark: tpch|sysbench|imdb (default: all applicable)")
 	size := flag.String("size", "med", "grid size: quick|med|full")
 	workers := flag.Int("workers", 0, "per-fan-out worker cap for parallel labeling and experiments; nested stages each use up to this many goroutines (0 = GOMAXPROCS)")
+	micro := flag.Bool("micro", false, "run the estimator microbenchmarks and emit BENCH_PR2.json rows instead of the experiment suite")
+	out := flag.String("out", "BENCH_PR2.json", "with -micro: output path for the benchmark rows")
+	baseline := flag.String("baseline", "", "with -micro: baseline BENCH_PR2.json to gate against (empty = no gate)")
+	tolerance := flag.Float64("tolerance", 0.20, "with -micro -baseline: maximum allowed predictions/sec regression")
+	minSpeedup := flag.Float64("min-train-speedup", 1.7, "with -micro: minimum batched/scalar training-iteration speedup on the mscn pair (0 disables; ~2.1-2.3x measured, floor set below for run-to-run noise)")
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*workers)
+
+	if *micro {
+		if err := runMicro(*out, *baseline, *tolerance, *minSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "qcfe-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var params experiments.Params
 	switch *size {
@@ -55,6 +81,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qcfe-bench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runMicro runs the microbenchmarks, writes the JSON rows, and applies
+// the CI gates: the training-iteration speedup floor (batched vs the
+// scalar reference, same machine, so machine speed cancels exactly) and,
+// when a baseline is given, the predictions/sec regression tolerance.
+func runMicro(out, baseline string, tolerance, minSpeedup float64) error {
+	rows, err := bench.Run()
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteJSON(out, rows); err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %14s %14s %10s\n", "benchmark", "ns/op", "ops/sec", "allocs/op")
+	for _, r := range rows {
+		fmt.Printf("%-24s %14.1f %14.0f %10d\n", r.Name, r.NsPerOp, 1e9/r.NsPerOp, r.AllocsPerOp)
+	}
+	speedup, err := bench.Speedup(rows, bench.MSCNTrainIterScalar, bench.MSCNTrainIterBatch)
+	if err != nil {
+		return err
+	}
+	qppSpeedup, err := bench.Speedup(rows, bench.QPPTrainIterScalar, bench.QPPTrainIterBatch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntrain-iteration speedup (batched vs scalar): mscn %.2fx, qppnet %.2fx\n", speedup, qppSpeedup)
+	if minSpeedup > 0 && speedup < minSpeedup {
+		return fmt.Errorf("training-iteration speedup %.2fx below required %.2fx", speedup, minSpeedup)
+	}
+	if baseline != "" {
+		base, err := bench.ReadJSON(baseline)
+		if err != nil {
+			return err
+		}
+		if err := bench.Compare(base, rows, tolerance); err != nil {
+			return err
+		}
+		fmt.Printf("regression gate passed (tolerance %.0f%%)\n", 100*tolerance)
+	}
+	return nil
 }
 
 // MedParams is a middle grid: every experiment, reduced pools.

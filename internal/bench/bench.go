@@ -1,0 +1,369 @@
+// Package bench is the microbenchmark harness behind the CI
+// benchmark-regression gate: it measures the estimator stack's scalar and
+// batched hot paths (training iterations, predictions) on the quick grid
+// and emits machine-readable rows — the BENCH_PR2.json schema:
+//
+//	[{"name": ..., "iters": ..., "ns_per_op": ..., "allocs_per_op": ...}, ...]
+//
+// ns_per_op is normalized per logical operation: one prediction for
+// predict rows, one training iteration (one minibatch + optimizer step)
+// for train rows. predictions/sec and train iters/sec are 1e9/ns_per_op.
+//
+// Cross-machine comparison is made meaningful by a calibration row
+// ("calib/fma", a fixed serially-dependent FMA loop that mirrors the
+// dot-product bottleneck of the nn kernels): Compare rescales the current
+// run by the calibration ratio before applying the regression tolerance,
+// so a slower CI runner does not read as a code regression.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dbenv"
+	"repro/internal/encoding"
+	"repro/internal/linalg"
+	"repro/internal/mscn"
+	"repro/internal/nn"
+	"repro/internal/qppnet"
+	"repro/internal/workload"
+)
+
+// Row is one microbenchmark result — the BENCH_PR2.json row schema.
+type Row struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Benchmark names. The Gated set is what the CI regression gate watches;
+// the train pairs feed the batched-vs-scalar speedup check.
+const (
+	Calib = "calib/fma"
+
+	NNForwardScalar   = "nn/forward-scalar"
+	NNForwardBatch    = "nn/forward-batch"
+	NNTrainIterScalar = "nn/train-iter-scalar"
+	NNTrainIterBatch  = "nn/train-iter-batch"
+
+	MSCNPredictScalar   = "mscn/predict-scalar"
+	MSCNPredictBatch    = "mscn/predict-batch"
+	MSCNTrainIterScalar = "mscn/train-iter-scalar"
+	MSCNTrainIterBatch  = "mscn/train-iter-batch"
+
+	QPPPredictScalar   = "qppnet/predict-scalar"
+	QPPPredictBatch    = "qppnet/predict-batch"
+	QPPTrainIterScalar = "qppnet/train-iter-scalar"
+	QPPTrainIterBatch  = "qppnet/train-iter-batch"
+)
+
+// Gated lists the rows the CI gate checks for predictions/sec regressions:
+// the batched serving paths.
+var Gated = []string{MSCNPredictBatch, QPPPredictBatch}
+
+var sink float64
+
+// run executes one benchmark function repeatedly and keeps the fastest
+// repetition, normalized to `items` logical operations per b.N iteration.
+// The minimum is the standard low-noise estimator: scheduler and cache
+// interference only ever slow a run down, so the fastest of several
+// ~1-second measurements is the closest to the code's true cost — which
+// is what a regression gate must compare.
+func run(name string, items int, fn func(b *testing.B)) Row {
+	const reps = 3
+	best := Row{Name: name}
+	for rep := 0; rep < reps; rep++ {
+		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N) / float64(items)
+		if rep == 0 || ns < best.NsPerOp {
+			best.Iters = r.N * items
+			best.NsPerOp = ns
+			best.AllocsPerOp = r.AllocsPerOp() / int64(items)
+		}
+	}
+	return best
+}
+
+// Run measures the full row set on the quick grid: a small TPCH workload
+// (2 environments × 60 queries — joins and multi-level plans, the shapes
+// that exercise tree batching), the production featurization (general
+// encoding plus the per-environment feature-snapshot block, exactly what
+// the QCFE pipeline trains on), both models briefly trained so weights
+// are in a realistic regime.
+func Run() ([]Row, error) {
+	ds, err := datagen.Build("tpch", 1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: dataset: %w", err)
+	}
+	envs := dbenv.SampleSet(2, 1)
+	lab, err := workload.Collect(ds, envs, 60, 1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: workload: %w", err)
+	}
+	plans, ms := workload.PlansAndLabels(lab.Samples)
+	snaps, _, err := core.BuildSnapshots(ds, envs, core.DefaultConfig("mscn"))
+	if err != nil {
+		return nil, fmt.Errorf("bench: snapshots: %w", err)
+	}
+	f := &encoding.Featurizer{Enc: encoding.New(ds.Schema), Snaps: snaps}
+
+	rows := []Row{run(Calib, 1, benchCalib)}
+	rows = append(rows, nnRows()...)
+
+	mm := mscn.New(f, 1)
+	mm.Train(plans, ms, 30)
+	rows = append(rows,
+		run(MSCNPredictScalar, len(plans), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range plans {
+					sink = mm.PredictMs(p)
+				}
+			}
+		}),
+		run(MSCNPredictBatch, len(plans), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := mm.PredictBatch(plans)
+				sink = out[0]
+			}
+		}),
+	)
+	const trainIters = 20 // amortizes the per-Train-call feature cache like a real 400-iteration run
+	mts := mscn.New(f, 2)
+	rows = append(rows, run(MSCNTrainIterScalar, trainIters, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mts.TrainReference(plans, ms, trainIters)
+		}
+	}))
+	mtb := mscn.New(f, 2)
+	rows = append(rows, run(MSCNTrainIterBatch, trainIters, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mtb.Train(plans, ms, trainIters)
+		}
+	}))
+
+	qm := qppnet.New(f, 1)
+	qm.Train(plans, ms, 30)
+	rows = append(rows,
+		run(QPPPredictScalar, len(plans), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range plans {
+					sink = qm.PredictMs(p)
+				}
+			}
+		}),
+		run(QPPPredictBatch, len(plans), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := qm.PredictBatch(plans)
+				sink = out[0]
+			}
+		}),
+	)
+	qts := qppnet.New(f, 2)
+	rows = append(rows, run(QPPTrainIterScalar, trainIters, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			qts.TrainReference(plans, ms, trainIters)
+		}
+	}))
+	qtb := qppnet.New(f, 2)
+	rows = append(rows, run(QPPTrainIterBatch, trainIters, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			qtb.Train(plans, ms, trainIters)
+		}
+	}))
+	return rows, nil
+}
+
+// benchCalib is the machine-speed proxy the regression gate normalizes
+// by. It deliberately mixes the three resources the gated rows spend —
+// a serially-dependent multiply-add chain (the dot-product bottleneck),
+// streaming memory traffic over a slab larger than L1, and a short-lived
+// allocation per op — so its ratio between two machines tracks the
+// model benchmarks' ratio, not just relative ALU speed.
+func benchCalib(b *testing.B) {
+	b.ReportAllocs()
+	const slab = 64 * 1024 // floats; 512 KB streams past L1
+	x := make([]float64, slab)
+	for i := range x {
+		x[i] = float64(i%7) * 0.25
+	}
+	var s float64
+	for i := 0; i < b.N; i++ {
+		scratch := make([]float64, 512)
+		for j := range scratch {
+			scratch[j] = x[(j*67)%slab]
+		}
+		s = 0
+		for _, v := range x[:4096] {
+			s = s*0.999 + v
+		}
+		for _, v := range scratch {
+			s += v
+		}
+	}
+	sink = s
+}
+
+// nnRows measures the raw kernels on a fixed 64→32→32→1 MLP at batch 32.
+func nnRows() []Row {
+	const batch = 32
+	newMLP := func(seed int64) (*nn.MLP, *linalg.Matrix) {
+		rng := rand.New(rand.NewSource(seed))
+		m := nn.NewMLP([]int{64, 32, 32, 1}, rng)
+		x := linalg.NewMatrix(batch, 64)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		return m, x
+	}
+	m, x := newMLP(1)
+	ar := &linalg.Arena{}
+	rows := []Row{
+		run(NNForwardScalar, batch, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for n := 0; n < batch; n++ {
+					sink = m.Predict(x.RowView(n))[0]
+				}
+			}
+		}),
+		run(NNForwardBatch, batch, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ar.Reset()
+				sink = m.PredictBatch(ar, x).Data[0]
+			}
+		}),
+	}
+	ms, xs := newMLP(2)
+	optS := nn.NewAdam(0.001)
+	layersS := nn.LayersOf(ms)
+	rows = append(rows, run(NNTrainIterScalar, 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for n := 0; n < batch; n++ {
+				y, c := ms.Forward(xs.RowView(n))
+				ms.Backward(c, []float64{2 * y[0]})
+			}
+			optS.Step(layersS, batch)
+		}
+	}))
+	mb, xb := newMLP(2)
+	optB := nn.NewAdam(0.001)
+	layersB := nn.LayersOf(mb)
+	dOut := linalg.NewMatrix(batch, 1)
+	rows = append(rows, run(NNTrainIterBatch, 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ar.Reset()
+			y, c := mb.ForwardBatch(ar, xb)
+			for n := 0; n < batch; n++ {
+				dOut.Data[n] = 2 * y.Data[n]
+			}
+			mb.BackwardBatchNoInput(ar, c, dOut)
+			optB.Step(layersB, batch)
+		}
+	}))
+	return rows
+}
+
+// Speedup returns the scalar/batch throughput ratio for a (scalar, batch)
+// row pair — >1 means the batched path is faster.
+func Speedup(rows []Row, scalarName, batchName string) (float64, error) {
+	idx := Index(rows)
+	s, ok1 := idx[scalarName]
+	b, ok2 := idx[batchName]
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("bench: missing rows %q/%q", scalarName, batchName)
+	}
+	if b.NsPerOp <= 0 {
+		return 0, fmt.Errorf("bench: non-positive ns_per_op in %q", batchName)
+	}
+	return s.NsPerOp / b.NsPerOp, nil
+}
+
+// Index maps rows by name.
+func Index(rows []Row) map[string]Row {
+	out := make(map[string]Row, len(rows))
+	for _, r := range rows {
+		out[r.Name] = r
+	}
+	return out
+}
+
+// Compare gates the current run against a baseline: for every Gated row,
+// predictions/sec (after rescaling the current run by the calibration
+// ratio, so different machine speeds cancel) must not fall more than tol
+// below the baseline. It returns one error naming every regressed row, or
+// nil.
+func Compare(baseline, current []Row, tol float64) error {
+	base := Index(baseline)
+	cur := Index(current)
+	norm := 1.0
+	if bc, ok := base[Calib]; ok {
+		if cc, ok2 := cur[Calib]; ok2 && bc.NsPerOp > 0 && cc.NsPerOp > 0 {
+			norm = bc.NsPerOp / cc.NsPerOp
+		}
+	}
+	var regressed []string
+	for _, name := range Gated {
+		b, ok := base[name]
+		if !ok {
+			continue // baseline predates this row; nothing to gate against
+		}
+		c, ok := cur[name]
+		if !ok {
+			regressed = append(regressed, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		basePps := 1e9 / b.NsPerOp
+		curPps := 1e9 / (c.NsPerOp * norm)
+		if curPps < (1-tol)*basePps {
+			regressed = append(regressed, fmt.Sprintf(
+				"%s: %.0f predictions/sec (machine-normalized) vs baseline %.0f — %.1f%% regression exceeds %.0f%% tolerance",
+				name, curPps, basePps, 100*(1-curPps/basePps), 100*tol))
+		}
+	}
+	if len(regressed) > 0 {
+		sort.Strings(regressed)
+		return fmt.Errorf("bench: regression gate failed:\n  %s", strings.Join(regressed, "\n  "))
+	}
+	return nil
+}
+
+// WriteJSON writes rows as the BENCH_PR2.json document.
+func WriteJSON(path string, rows []Row) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a BENCH_PR2.json document.
+func ReadJSON(path string) ([]Row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return rows, nil
+}

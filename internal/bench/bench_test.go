@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dbenv"
+	"repro/internal/encoding"
+	"repro/internal/mscn"
+	"repro/internal/planner"
+	"repro/internal/qppnet"
+	"repro/internal/workload"
+)
+
+var (
+	setupOnce  sync.Once
+	benchPlans []*planner.Node
+	benchMs    []float64
+	benchF     *encoding.Featurizer
+	setupErr   error
+)
+
+func setup(tb testing.TB) ([]*planner.Node, []float64, *encoding.Featurizer) {
+	tb.Helper()
+	setupOnce.Do(func() {
+		ds, err := datagen.Build("tpch", 1)
+		if err != nil {
+			setupErr = err
+			return
+		}
+		envs := dbenv.SampleSet(2, 1)
+		lab, err := workload.Collect(ds, envs, 60, 1)
+		if err != nil {
+			setupErr = err
+			return
+		}
+		benchPlans, benchMs = workload.PlansAndLabels(lab.Samples)
+		// Same featurization as bench.Run(): encoding + snapshot block,
+		// so profiles here explain the gated rows.
+		snaps, _, err := core.BuildSnapshots(ds, envs, core.DefaultConfig("mscn"))
+		if err != nil {
+			setupErr = err
+			return
+		}
+		benchF = &encoding.Featurizer{Enc: encoding.New(ds.Schema), Snaps: snaps}
+	})
+	if setupErr != nil {
+		tb.Fatal(setupErr)
+	}
+	return benchPlans, benchMs, benchF
+}
+
+// The train/predict pairs below mirror the rows Run() measures; they
+// exist so the hot paths can be profiled and compared with the standard
+// `go test -bench` tooling. Both arms of each train pair run the same
+// 20 iterations per op (amortizing the batched path's per-Train-call
+// caches exactly as Run() does), so their ns/op compare directly.
+
+const trainItersPerOp = 20
+
+func BenchmarkMSCNTrainIterScalar(b *testing.B) {
+	plans, ms, f := setup(b)
+	m := mscn.New(f, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainReference(plans, ms, trainItersPerOp)
+	}
+}
+
+func BenchmarkMSCNTrainIterBatch(b *testing.B) {
+	plans, ms, f := setup(b)
+	m := mscn.New(f, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Train(plans, ms, trainItersPerOp)
+	}
+}
+
+func BenchmarkQPPNetTrainIterScalar(b *testing.B) {
+	plans, ms, f := setup(b)
+	m := qppnet.New(f, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainReference(plans, ms, trainItersPerOp)
+	}
+}
+
+func BenchmarkQPPNetTrainIterBatch(b *testing.B) {
+	plans, ms, f := setup(b)
+	m := qppnet.New(f, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Train(plans, ms, trainItersPerOp)
+	}
+}
+
+func BenchmarkMSCNPredictBatch(b *testing.B) {
+	plans, ms, f := setup(b)
+	_ = ms
+	m := mscn.New(f, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(plans)
+	}
+}
+
+func BenchmarkQPPNetPredictBatch(b *testing.B) {
+	plans, ms, f := setup(b)
+	_ = ms
+	m := qppnet.New(f, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(plans)
+	}
+}
+
+// --- gate logic tests ---
+
+func rows(ns map[string]float64) []Row {
+	var out []Row
+	for name, n := range ns {
+		out = append(out, Row{Name: name, Iters: 100, NsPerOp: n})
+	}
+	return out
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := rows(map[string]float64{Calib: 100, MSCNPredictBatch: 1000, QPPPredictBatch: 1000})
+	// Same machine (calib equal), mscn 30% slower → regression.
+	cur := rows(map[string]float64{Calib: 100, MSCNPredictBatch: 1300, QPPPredictBatch: 1000})
+	err := Compare(base, cur, 0.20)
+	if err == nil {
+		t.Fatalf("30%% regression passed the 20%% gate")
+	}
+	if !strings.Contains(err.Error(), MSCNPredictBatch) {
+		t.Fatalf("error does not name the regressed row: %v", err)
+	}
+}
+
+func TestCompareToleratesSlowMachine(t *testing.T) {
+	base := rows(map[string]float64{Calib: 100, MSCNPredictBatch: 1000, QPPPredictBatch: 1000})
+	// Everything (including calibration) 3× slower: a slower runner, not
+	// a regression.
+	cur := rows(map[string]float64{Calib: 300, MSCNPredictBatch: 3000, QPPPredictBatch: 3000})
+	if err := Compare(base, cur, 0.20); err != nil {
+		t.Fatalf("machine normalization failed: %v", err)
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := rows(map[string]float64{Calib: 100, MSCNPredictBatch: 1000, QPPPredictBatch: 1000})
+	cur := rows(map[string]float64{Calib: 100, MSCNPredictBatch: 1100, QPPPredictBatch: 950})
+	if err := Compare(base, cur, 0.20); err != nil {
+		t.Fatalf("10%% slowdown should pass a 20%% gate: %v", err)
+	}
+}
+
+func TestCompareMissingRow(t *testing.T) {
+	base := rows(map[string]float64{Calib: 100, MSCNPredictBatch: 1000, QPPPredictBatch: 1000})
+	cur := rows(map[string]float64{Calib: 100, QPPPredictBatch: 1000})
+	if err := Compare(base, cur, 0.20); err == nil {
+		t.Fatalf("missing gated row should fail the gate")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	rs := rows(map[string]float64{MSCNTrainIterScalar: 2000, MSCNTrainIterBatch: 800})
+	s, err := Speedup(rs, MSCNTrainIterScalar, MSCNTrainIterBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 2.5 {
+		t.Fatalf("speedup = %v, want 2.5", s)
+	}
+	if _, err := Speedup(rs, "nope", MSCNTrainIterBatch); err == nil {
+		t.Fatalf("missing row should error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	in := []Row{{Name: "a/b", Iters: 10, NsPerOp: 123.5, AllocsPerOp: 7}}
+	if err := WriteJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round trip mangled rows: %+v", out)
+	}
+}

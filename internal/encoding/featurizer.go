@@ -2,6 +2,7 @@ package encoding
 
 import (
 	"repro/internal/featred"
+	"repro/internal/linalg"
 	"repro/internal/planner"
 	"repro/internal/snapshot"
 )
@@ -58,6 +59,26 @@ func (f *Featurizer) Node(n *planner.Node) []float64 {
 		return featred.Apply(f.Mask, v)
 	}
 	return v
+}
+
+// NodesMatrix featurizes a node list into one row-major matrix (row i =
+// Node(nodes[i])) — the gather step of the batched inference paths.
+func (f *Featurizer) NodesMatrix(nodes []*planner.Node) *linalg.Matrix {
+	m := linalg.NewMatrix(len(nodes), f.Dim())
+	for i, n := range nodes {
+		m.SetRow(i, f.Node(n))
+	}
+	return m
+}
+
+// PlanMatrix featurizes every node of a plan in pre-order (Walk order)
+// into one row-major matrix. Row order matches the per-sample traversal,
+// which is what keeps batched set-pooling bit-identical to the scalar
+// path.
+func (f *Featurizer) PlanMatrix(root *planner.Node) *linalg.Matrix {
+	rows := make([][]float64, 0, root.CountNodes())
+	root.Walk(func(n *planner.Node) { rows = append(rows, f.Node(n)) })
+	return linalg.FromRows(rows)
 }
 
 // Names labels the raw feature dimensions.

@@ -20,9 +20,15 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 )
+
+// forwardChunk bounds the number of rows one batched forward materializes
+// at a time; difference propagation caches every layer's activations, so
+// unbounded batches would hold the whole dataset's activations at once.
+const forwardChunk = 1024
 
 // Dataset is operator-level labeled data: one feature vector and one
 // metrics.LogMs cost target per operator occurrence.
@@ -68,17 +74,39 @@ func TrainProbe(d *Dataset, hidden, epochs int, seed int64) *nn.MLP {
 	if n == 0 {
 		return m
 	}
+	// Minibatches run through the batched kernels; draws, per-sample
+	// arithmetic, and gradient-accumulation order all match the former
+	// per-sample loop, so the probe's weight trajectory is unchanged.
 	const batch = 32
+	x := linalg.NewMatrix(batch, d.Dim())
+	dOut := linalg.NewMatrix(batch, 1)
+	targets := make([]float64, batch)
+	ar := &linalg.Arena{}
 	for ep := 0; ep < epochs; ep++ {
 		for b := 0; b < n; b += batch {
-			sz := 0
-			for i := b; i < b+batch && i < n; i++ {
-				j := rng.Intn(n)
-				y, c := m.Forward(d.X[j])
-				diff := y[0] - d.Y[j]
-				m.Backward(c, []float64{2 * diff})
-				sz++
+			ar.Reset()
+			sz := batch
+			if n-b < sz {
+				sz = n - b
 			}
+			for i := 0; i < sz; i++ {
+				j := rng.Intn(n)
+				x.SetRow(i, d.X[j])
+				targets[i] = d.Y[j]
+			}
+			xb := x
+			if sz < batch {
+				xb = &linalg.Matrix{Rows: sz, Cols: x.Cols, Data: x.Data[:sz*x.Cols]}
+			}
+			y, c := m.ForwardBatch(ar, xb)
+			for i := 0; i < sz; i++ {
+				dOut.Data[i] = 2 * (y.At(i, 0) - targets[i])
+			}
+			db := dOut
+			if sz < batch {
+				db = &linalg.Matrix{Rows: sz, Cols: 1, Data: dOut.Data[:sz]}
+			}
+			m.BackwardBatchNoInput(ar, c, db)
 			opt.Step(layers, sz)
 		}
 	}
@@ -92,22 +120,34 @@ func QErrorOf(m *nn.MLP, d *Dataset, mask []bool) float64 {
 	if len(d.X) == 0 {
 		return 0
 	}
+	// Predictions run batched (greedy reduction calls this once per
+	// candidate feature per round — it is the reduction hot path); the
+	// q-error sum still accumulates in sample order.
 	var sum float64
-	buf := make([]float64, d.Dim())
-	for i, x := range d.X {
-		in := x
-		if mask != nil {
-			copy(buf, x)
-			for k, keep := range mask {
-				if !keep {
-					buf[k] = 0
+	dim := d.Dim()
+	ar := &linalg.Arena{}
+	for base := 0; base < len(d.X); base += forwardChunk {
+		ar.Reset()
+		end := base + forwardChunk
+		if end > len(d.X) {
+			end = len(d.X)
+		}
+		x := ar.Alloc(end-base, dim)
+		for r := base; r < end; r++ {
+			row := x.RowView(r - base)
+			copy(row, d.X[r])
+			if mask != nil {
+				for k, keep := range mask {
+					if !keep {
+						row[k] = 0
+					}
 				}
 			}
-			in = buf
 		}
-		pred := metrics.UnlogMs(m.Predict(in)[0])
-		actual := metrics.UnlogMs(d.Y[i])
-		sum += metrics.QError(actual, pred)
+		pred := m.PredictBatch(ar, x)
+		for r := base; r < end; r++ {
+			sum += metrics.QError(metrics.UnlogMs(d.Y[r]), metrics.UnlogMs(pred.At(r-base, 0)))
+		}
 	}
 	return sum / float64(len(d.X))
 }
@@ -178,27 +218,52 @@ func DiffPropScores(m *nn.MLP, X [][]float64, nRef int, seed int64) []float64 {
 	if nRef > len(X) {
 		nRef = len(X)
 	}
+	// The reference set and the samples both run through the network
+	// batched — these are the "many near-identical forward passes" of the
+	// reduction step, and each row of a batched forward is bit-identical
+	// to the scalar forward, so the scores are unchanged.
 	refIdx := rng.Perm(len(X))[:nRef]
-	refs := make([]*nn.Cache, nRef)
+	refMat := linalg.NewMatrix(nRef, len(X[0]))
 	for i, ri := range refIdx {
-		_, refs[i] = m.Forward(X[ri])
+		refMat.SetRow(i, X[ri])
+	}
+	// Reference caches persist across every chunk, so they come from the
+	// heap (nil arena); chunk caches die with their chunk.
+	_, refCache := m.ForwardBatch(nil, refMat)
+	refs := make([]*nn.Cache, nRef)
+	for i := range refs {
+		refs[i] = refCache.Sample(i)
 	}
 	dim := len(X[0])
 	scores := make([]float64, dim)
 	var pairs float64
-	for _, x := range X {
-		_, cx := m.Forward(x)
-		for _, cr := range refs {
-			mult := diffMultipliers(m, cx, cr)
-			ref := cr.Act[0]
-			// Contribution form: multiplier × Δx. A dimension that never
-			// differs from the references (an unused table/index one-hot,
-			// a constant knob) contributes exactly zero and is reduced —
-			// Equation 1's Δx_k denominator cancels against it.
-			for k := 0; k < dim; k++ {
-				scores[k] += math.Abs(mult[k] * (x[k] - ref[k]))
+	ar := &linalg.Arena{}
+	for base := 0; base < len(X); base += forwardChunk {
+		ar.Reset()
+		end := base + forwardChunk
+		if end > len(X) {
+			end = len(X)
+		}
+		chunk := ar.Alloc(end-base, dim)
+		for r := base; r < end; r++ {
+			chunk.SetRow(r-base, X[r])
+		}
+		_, chunkCache := m.ForwardBatch(ar, chunk)
+		for r := base; r < end; r++ {
+			x := X[r]
+			cx := chunkCache.Sample(r - base)
+			for _, cr := range refs {
+				mult := diffMultipliers(m, cx, cr)
+				ref := cr.Act[0]
+				// Contribution form: multiplier × Δx. A dimension that never
+				// differs from the references (an unused table/index one-hot,
+				// a constant knob) contributes exactly zero and is reduced —
+				// Equation 1's Δx_k denominator cancels against it.
+				for k := 0; k < dim; k++ {
+					scores[k] += math.Abs(mult[k] * (x[k] - ref[k]))
+				}
+				pairs++
 			}
-			pairs++
 		}
 	}
 	for k := range scores {

@@ -1,0 +1,64 @@
+package linalg
+
+// Arena is a bump allocator for the batch matrices of one processing
+// iteration. The batched training loops allocate a dozen short-lived
+// matrices per minibatch (inputs, activations, gradients); taking them
+// from a reused slab instead of the heap removes the allocation, zeroing,
+// and GC-scan costs that otherwise dominate the vectorized paths.
+//
+// Usage contract: call Reset at the top of each iteration, after which
+// every matrix handed out since the previous Reset is dead. Matrices that
+// must outlive the iteration (model weights, accumulated gradients,
+// results) must not come from the arena. An Arena is owned by a single
+// goroutine, matching the one-goroutine ownership of the models that use
+// it.
+type Arena struct {
+	slab []float64
+	off  int
+}
+
+// Reset recycles the arena: subsequent allocations reuse the slab from
+// the start. The caller promises that no matrix from before the Reset is
+// still in use.
+func (a *Arena) Reset() { a.off = 0 }
+
+// grow ensures n more floats are available. Matrices handed out earlier
+// keep referencing the old slab, so they stay valid.
+func (a *Arena) grow(n int) {
+	size := 2 * len(a.slab)
+	if size < n {
+		size = n
+	}
+	if size < 1024 {
+		size = 1024
+	}
+	a.slab = make([]float64, size)
+	a.off = 0
+}
+
+// Floats returns an n-element scratch slice with undefined contents. The
+// caller must overwrite every element it reads.
+func (a *Arena) Floats(n int) []float64 {
+	if a.off+n > len(a.slab) {
+		a.grow(n)
+	}
+	out := a.slab[a.off : a.off+n : a.off+n]
+	a.off += n
+	return out
+}
+
+// Alloc returns a rows×cols matrix with undefined contents. The caller
+// must overwrite every element it reads — batched forward passes and
+// full-overwrite masks qualify; accumulators do not (use AllocZero).
+func (a *Arena) Alloc(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: a.Floats(rows * cols)}
+}
+
+// AllocZero returns a zeroed rows×cols matrix, for use as an accumulator.
+func (a *Arena) AllocZero(rows, cols int) *Matrix {
+	m := a.Alloc(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}

@@ -55,6 +55,21 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a view into the matrix's backing array. Writes
+// through the view mutate the matrix; the batched neural-network paths use
+// views to hand per-sample slices to scalar code without copying.
+func (m *Matrix) RowView(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("linalg: SetRow got %d values, want %d", len(v), m.Cols))
+	}
+	copy(m.Data[i*m.Cols:(i+1)*m.Cols], v)
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.Rows, m.Cols)

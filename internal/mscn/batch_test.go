@@ -1,0 +1,88 @@
+package mscn
+
+import "testing"
+
+// TestPredictBatchBitIdentical asserts the batched inference path equals
+// the per-sample path bit for bit, including after training.
+func TestPredictBatchBitIdentical(t *testing.T) {
+	m := New(testFeaturizer(), 1)
+	plans, ms := synthPlans(80, 2)
+	m.Train(plans, ms, 60)
+	batch := m.PredictBatch(plans)
+	if len(batch) != len(plans) {
+		t.Fatalf("batch size = %d, want %d", len(batch), len(plans))
+	}
+	for i, p := range plans {
+		if s := m.PredictMs(p); batch[i] != s {
+			t.Fatalf("plan %d: PredictBatch %v != PredictMs %v", i, batch[i], s)
+		}
+	}
+	if out := m.PredictBatch(nil); out != nil {
+		t.Fatalf("empty batch should return nil")
+	}
+}
+
+// TestPredictBatchChunking drives a workload larger than one inference
+// chunk (predictChunkNodes) and requires bit-identity across the chunk
+// boundaries.
+func TestPredictBatchChunking(t *testing.T) {
+	m := New(testFeaturizer(), 9)
+	plans, _ := synthPlans(900, 11) // ~1350 nodes → several chunks
+	batch := m.PredictBatch(plans)
+	for i, p := range plans {
+		if s := m.PredictMs(p); batch[i] != s {
+			t.Fatalf("plan %d: chunked PredictBatch %v != PredictMs %v", i, batch[i], s)
+		}
+	}
+}
+
+// weightsEqual compares two models' parameters bitwise.
+func weightsEqual(t *testing.T, a, b *Model, label string) {
+	t.Helper()
+	for li := range a.SetNet.Layers {
+		for i, w := range a.SetNet.Layers[li].W {
+			if w != b.SetNet.Layers[li].W[i] {
+				t.Fatalf("%s: SetNet layer %d W[%d]: %v != %v", label, li, i, w, b.SetNet.Layers[li].W[i])
+			}
+		}
+		for i, v := range a.SetNet.Layers[li].B {
+			if v != b.SetNet.Layers[li].B[i] {
+				t.Fatalf("%s: SetNet layer %d B[%d] differs", label, li, i)
+			}
+		}
+	}
+	for li := range a.OutNet.Layers {
+		for i, w := range a.OutNet.Layers[li].W {
+			if w != b.OutNet.Layers[li].W[i] {
+				t.Fatalf("%s: OutNet layer %d W[%d]: %v != %v", label, li, i, w, b.OutNet.Layers[li].W[i])
+			}
+		}
+		for i, v := range a.OutNet.Layers[li].B {
+			if v != b.OutNet.Layers[li].B[i] {
+				t.Fatalf("%s: OutNet layer %d B[%d] differs", label, li, i)
+			}
+		}
+	}
+}
+
+// TestTrainMatchesReference trains two identically seeded models — one on
+// the batched minibatch path, one on the per-sample reference path — and
+// requires bit-identical weight trajectories, at batch size 1 (the
+// per-sample seed trajectory) and at the default batch size.
+func TestTrainMatchesReference(t *testing.T) {
+	plans, ms := synthPlans(120, 7)
+	for _, bs := range []int{1, 0 /* default */} {
+		batched := New(testFeaturizer(), 5)
+		reference := New(testFeaturizer(), 5)
+		batched.BatchSize = bs
+		reference.BatchSize = bs
+		batched.Train(plans, ms, 40)
+		reference.TrainReference(plans, ms, 40)
+		weightsEqual(t, batched, reference, "after training")
+		// The rng must have advanced identically too: one more round on
+		// each should stay in lockstep.
+		batched.Train(plans, ms, 5)
+		reference.TrainReference(plans, ms, 5)
+		weightsEqual(t, batched, reference, "after resumed training")
+	}
+}

@@ -7,6 +7,12 @@
 // Architecturally MSCN is a deep-sets model: a shared set network embeds
 // every plan node, embeddings are average-pooled, and a merge network maps
 // the pooled vector to the predicted log-cost.
+//
+// Training and batch inference run vector-at-a-time: every minibatch
+// gathers its plans' node features into one matrix and drives the batched
+// nn kernels, which preserve the scalar path's accumulation order — so
+// Train is bit-identical to the retained per-sample reference
+// (TrainReference) at any batch size, and PredictBatch to PredictMs.
 package mscn
 
 import (
@@ -14,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/encoding"
+	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/planner"
@@ -33,8 +40,13 @@ type Model struct {
 
 	SetNet *nn.MLP // node features → embedding
 	OutNet *nn.MLP // pooled embedding → log cost
-	opt    *nn.Adam
-	rng    *rand.Rand
+	// BatchSize overrides the default minibatch size when positive. The
+	// training trajectory is the same at every batch size modulo Adam's
+	// step cadence; at any fixed size it is bit-identical to the
+	// per-sample reference path.
+	BatchSize int
+	opt       *nn.Adam
+	rng       *rand.Rand
 }
 
 // New builds an MSCN model.
@@ -51,6 +63,13 @@ func New(f *encoding.Featurizer, seed int64) *Model {
 
 // Name implements the experiment harness's model interface.
 func (m *Model) Name() string { return "mscn" }
+
+func (m *Model) batch() int {
+	if m.BatchSize > 0 {
+		return m.BatchSize
+	}
+	return batchSize
+}
 
 type forwardCache struct {
 	nodeCaches []*nn.Cache
@@ -98,8 +117,73 @@ func (m *Model) PredictMs(root *planner.Node) float64 {
 	return metrics.UnlogMs(fc.out)
 }
 
+// predictChunkNodes bounds how many node rows one inference batch
+// materializes at a time, so pricing an arbitrarily large workload keeps
+// bounded memory. Plans are independent, so chunking cannot change
+// results.
+const predictChunkNodes = 1024
+
+// PredictBatch estimates every plan's execution time batched: all nodes
+// of a chunk of plans go through the set network as a single matrix,
+// pooled per plan, and the pooled batch goes through the merge network.
+// Output i is bit-identical to PredictMs(roots[i]).
+func (m *Model) PredictBatch(roots []*planner.Node) []float64 {
+	if len(roots) == 0 {
+		return nil
+	}
+	res := make([]float64, len(roots))
+	ar := &linalg.Arena{}
+	var nodes []*planner.Node
+	var counts []int
+	for start := 0; start < len(roots); {
+		ar.Reset()
+		nodes, counts = nodes[:0], counts[:0]
+		end := start
+		for end < len(roots) && (end == start || len(nodes)+roots[end].CountNodes() <= predictChunkNodes) {
+			before := len(nodes)
+			roots[end].Walk(func(n *planner.Node) { nodes = append(nodes, n) })
+			counts = append(counts, len(nodes)-before)
+			end++
+		}
+		emb := m.SetNet.PredictBatch(ar, m.F.NodesMatrix(nodes))
+		pooled := poolByPlan(ar, emb, counts)
+		out := m.OutNet.PredictBatch(ar, pooled)
+		for s := start; s < end; s++ {
+			res[s] = metrics.UnlogMs(out.At(s-start, 0))
+		}
+		start = end
+	}
+	return res
+}
+
+// poolByPlan average-pools consecutive embedding rows per plan, summing in
+// row (pre-order) order — the scalar pooling order.
+func poolByPlan(ar *linalg.Arena, emb *linalg.Matrix, counts []int) *linalg.Matrix {
+	pooled := ar.AllocZero(len(counts), emb.Cols)
+	row := 0
+	for s, c := range counts {
+		prow := pooled.RowView(s)
+		for k := 0; k < c; k++ {
+			erow := emb.RowView(row)
+			for i, v := range erow {
+				prow[i] += v
+			}
+			row++
+		}
+		inv := 1 / float64(c)
+		for i := range prow {
+			prow[i] *= inv
+		}
+	}
+	return pooled
+}
+
 // Train fits the model for the given number of mini-batch iterations and
-// returns wall-clock training time.
+// returns wall-clock training time. Each iteration draws a minibatch,
+// gathers its node features (featurized lazily, once per plan, and cached
+// for the duration of the call), and runs one batched forward/backward
+// through both networks. The weight trajectory is bit-identical to
+// TrainReference with the same model state and iteration count.
 func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Duration {
 	start := time.Now()
 	if len(plans) == 0 {
@@ -110,9 +194,78 @@ func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Durat
 	for i, v := range ms {
 		targets[i] = metrics.LogMs(v)
 	}
+	bs := m.batch()
+	feats := make([]*linalg.Matrix, len(plans)) // lazy per-plan node features
+	idx := make([]int, bs)
+	counts := make([]int, bs)
+	ar := &linalg.Arena{} // per-iteration batch matrices, reused across iterations
+	for it := 0; it < iters; it++ {
+		ar.Reset()
+		total := 0
+		for b := range idx {
+			j := m.rng.Intn(len(plans))
+			idx[b] = j
+			if feats[j] == nil {
+				feats[j] = m.F.PlanMatrix(plans[j])
+			}
+			counts[b] = feats[j].Rows
+			total += feats[j].Rows
+		}
+		// Gather the minibatch's node features into one matrix, plans in
+		// draw order, nodes in pre-order within each plan.
+		x := ar.Alloc(total, m.F.Dim())
+		row := 0
+		for b, j := range idx {
+			copy(x.Data[row*x.Cols:], feats[j].Data)
+			row += counts[b]
+		}
+		emb, setCache := m.SetNet.ForwardBatch(ar, x)
+		pooled := poolByPlan(ar, emb, counts)
+		out, outCache := m.OutNet.ForwardBatch(ar, pooled)
+		dOut := ar.Alloc(bs, 1)
+		for b := range idx {
+			dOut.Data[b] = 2 * (out.At(b, 0) - targets[idx[b]])
+		}
+		dPooled := m.OutNet.BackwardBatch(ar, outCache, dOut)
+		// Spread each plan's pooled gradient across its node rows.
+		dEmb := ar.Alloc(total, emb.Cols)
+		row = 0
+		for b, c := range counts {
+			inv := 1 / float64(c)
+			prow := dPooled.RowView(b)
+			for k := 0; k < c; k++ {
+				erow := dEmb.RowView(row)
+				for i, v := range prow {
+					erow[i] = v * inv
+				}
+				row++
+			}
+		}
+		// The set network's input gradient has no consumer; skip it.
+		m.SetNet.BackwardBatchNoInput(ar, setCache, dEmb)
+		m.opt.Step(layers, bs)
+	}
+	return time.Since(start)
+}
+
+// TrainReference is the original per-sample training loop, retained as the
+// bit-equality oracle for Train (the equivalence tests assert identical
+// weight trajectories) and as the scalar arm of the train-iteration
+// microbenchmarks. It consumes the model's rng exactly like Train.
+func (m *Model) TrainReference(plans []*planner.Node, ms []float64, iters int) time.Duration {
+	start := time.Now()
+	if len(plans) == 0 {
+		return time.Since(start)
+	}
+	layers := nn.LayersOf(m.SetNet, m.OutNet)
+	targets := make([]float64, len(ms))
+	for i, v := range ms {
+		targets[i] = metrics.LogMs(v)
+	}
+	bs := m.batch()
 	for it := 0; it < iters; it++ {
 		sz := 0
-		for b := 0; b < batchSize; b++ {
+		for b := 0; b < bs; b++ {
 			j := m.rng.Intn(len(plans))
 			fc := m.forward(plans[j])
 			diff := fc.out - targets[j]
@@ -127,11 +280,12 @@ func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Durat
 // Clone deep-copies the model weights.
 func (m *Model) Clone() *Model {
 	return &Model{
-		F:      m.F,
-		SetNet: m.SetNet.Clone(),
-		OutNet: m.OutNet.Clone(),
-		opt:    nn.NewAdam(defaultLR),
-		rng:    rand.New(rand.NewSource(m.rng.Int63())),
+		F:         m.F,
+		SetNet:    m.SetNet.Clone(),
+		OutNet:    m.OutNet.Clone(),
+		BatchSize: m.BatchSize,
+		opt:       nn.NewAdam(defaultLR),
+		rng:       rand.New(rand.NewSource(m.rng.Int63())),
 	}
 }
 

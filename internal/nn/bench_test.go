@@ -3,6 +3,8 @@ package nn
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/linalg"
 )
 
 func BenchmarkMLPForward(b *testing.B) {
@@ -15,6 +17,72 @@ func BenchmarkMLPForward(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Predict(x)
+	}
+}
+
+// BenchmarkMLPForwardBatch32 reports per-sample cost of the batched
+// forward at batch 32; compare against BenchmarkMLPForward.
+func BenchmarkMLPForwardBatch32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{64, 32, 32, 16}, rng)
+	x := linalg.NewMatrix(32, 64)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	ar := &linalg.Arena{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar.Reset()
+		m.PredictBatch(ar, x)
+	}
+}
+
+// BenchmarkMLPTrainIterScalar is one 32-sample training iteration
+// (forward + backward per sample, then an Adam step) on the scalar path.
+func BenchmarkMLPTrainIterScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{64, 32, 32, 1}, rng)
+	opt := NewAdam(0.001)
+	layers := LayersOf(m)
+	xs := make([][]float64, 32)
+	for n := range xs {
+		xs[n] = make([]float64, 64)
+		for i := range xs[n] {
+			xs[n][i] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := range xs {
+			y, c := m.Forward(xs[n])
+			m.Backward(c, []float64{2 * y[0]})
+		}
+		opt.Step(layers, len(xs))
+	}
+}
+
+// BenchmarkMLPTrainIterBatch is the same 32-sample training iteration on
+// the batched path.
+func BenchmarkMLPTrainIterBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{64, 32, 32, 1}, rng)
+	opt := NewAdam(0.001)
+	layers := LayersOf(m)
+	x := linalg.NewMatrix(32, 64)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dOut := linalg.NewMatrix(32, 1)
+	ar := &linalg.Arena{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar.Reset()
+		y, c := m.ForwardBatch(ar, x)
+		for n := 0; n < 32; n++ {
+			dOut.Data[n] = 2 * y.Data[n]
+		}
+		m.BackwardBatchNoInput(ar, c, dOut)
+		opt.Step(layers, 32)
 	}
 }
 

@@ -8,6 +8,14 @@
 // children's output vectors; the first element of the root's output vector
 // is the predicted log-cost. Training backpropagates through the whole
 // tree, so operator networks are shared across every plan they appear in.
+//
+// Batched execution processes plan trees level by level (leaves first):
+// all nodes of one operator type at one level across the whole batch run
+// through their shared subnetwork as a single matrix. The backward pass
+// stays per-sample tree recursion over row views of the batched caches —
+// that is what keeps gradient accumulation in the scalar path's order, so
+// Train is bit-identical to the retained per-sample reference
+// (TrainReference) at any batch size, and PredictBatch to PredictMs.
 package qppnet
 
 import (
@@ -15,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/encoding"
+	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/planner"
@@ -36,8 +45,12 @@ type Model struct {
 	OutVec int
 
 	Nets map[planner.OpType]*nn.MLP
-	opt  *nn.Adam
-	rng  *rand.Rand
+	// BatchSize overrides the default minibatch size when positive; at any
+	// fixed size the trajectory is bit-identical to the per-sample
+	// reference path.
+	BatchSize int
+	opt       *nn.Adam
+	rng       *rand.Rand
 }
 
 // New builds a QPPNet with one subnetwork per operator type.
@@ -60,11 +73,22 @@ func New(f *encoding.Featurizer, seed int64) *Model {
 // Name implements the experiment harness's model interface.
 func (m *Model) Name() string { return "qppnet" }
 
-// treeCache stores one forward pass through a plan tree for backprop.
+func (m *Model) batch() int {
+	if m.BatchSize > 0 {
+		return m.BatchSize
+	}
+	return batchSize
+}
+
+// treeCache stores one forward pass through a plan tree for backprop. The
+// scalar path fills cache; the batched path fills (bc, row) — a row of
+// the level-batch its node ran in.
 type treeCache struct {
 	op       planner.OpType
 	input    []float64
 	cache    *nn.Cache
+	bc       *nn.BatchCache
+	row      int
 	out      []float64
 	children []*treeCache
 }
@@ -85,14 +109,172 @@ func (m *Model) forward(n *planner.Node) *treeCache {
 	return tc
 }
 
-func (m *Model) backward(tc *treeCache, dOut []float64) {
+// backwardReference is the seed per-sample backward: full input-gradient
+// products at every node. TrainReference uses it.
+func (m *Model) backwardReference(tc *treeCache, dOut []float64) {
 	dIn := m.Nets[tc.op].Backward(tc.cache, dOut)
 	if len(tc.children) == 0 {
 		return
 	}
 	dChild := dIn[len(dIn)-m.OutVec:]
 	for _, c := range tc.children {
-		m.backward(c, dChild)
+		m.backwardReference(c, dChild)
+	}
+}
+
+// backward is the training backward over a batched forward's caches: the
+// recursion and the gradient accumulation order are exactly the reference
+// path's (samples one at a time, root-down pre-order), but each node only
+// produces the child-sum suffix of its input gradient (nothing reads the
+// feature block's gradient, and leaves read nothing at all). Parameter
+// gradients are bit-identical to backwardReference.
+func (m *Model) backward(ar *linalg.Arena, tc *treeCache, dOut []float64) {
+	tail := 0
+	if len(tc.children) > 0 {
+		tail = m.OutVec
+	}
+	dChild := m.Nets[tc.op].BackwardTailRow(ar, tc.bc, tc.row, dOut, tail)
+	for _, c := range tc.children {
+		m.backward(ar, c, dChild)
+	}
+}
+
+// planFeatures featurizes a plan's nodes in post-order (children first, in
+// child order, then the node) — the order buildSkeleton consumes.
+func planFeatures(f *encoding.Featurizer, root *planner.Node) [][]float64 {
+	out := make([][]float64, 0, root.CountNodes())
+	var rec func(n *planner.Node)
+	rec = func(n *planner.Node) {
+		for _, c := range n.Children {
+			rec(c)
+		}
+		out = append(out, f.Node(n))
+	}
+	rec(root)
+	return out
+}
+
+// bNode is one plan node scheduled for batched execution: its skeleton
+// cache, its featurization, and its height above the leaves.
+type bNode struct {
+	tc    *treeCache
+	feat  []float64
+	level int
+}
+
+// planSkeleton is one plan's reusable batched-execution state: the
+// treeCache tree plus its flat post-order node list. The tree structure
+// and features are static across a training run; forwardBatch overwrites
+// each node's (out, bc, row) every time the plan appears in a minibatch,
+// so one skeleton is reusable across iterations — but a single batch
+// needs one instance per *occurrence* of a plan (duplicate draws get a
+// fresh skeleton, or the second forward would clobber the first's
+// outputs before backward reads them).
+type planSkeleton struct {
+	root     *treeCache
+	flat     []bNode
+	maxLevel int
+}
+
+// buildSkeleton builds the treeCache skeleton for one plan, consuming
+// feats with cursor in post-order, and appends every node to flat. It
+// returns the root cache and its level (leaves are level 0).
+func buildSkeleton(n *planner.Node, feats [][]float64, cursor *int, flat *[]bNode) (*treeCache, int) {
+	tc := &treeCache{op: n.Op}
+	level := 0
+	for _, c := range n.Children {
+		cc, cl := buildSkeleton(c, feats, cursor, flat)
+		tc.children = append(tc.children, cc)
+		if cl+1 > level {
+			level = cl + 1
+		}
+	}
+	feat := feats[*cursor]
+	*cursor++
+	*flat = append(*flat, bNode{tc: tc, feat: feat, level: level})
+	return tc, level
+}
+
+// newSkeleton builds a plan's reusable skeleton from its featurization.
+func newSkeleton(root *planner.Node, feats [][]float64) *planSkeleton {
+	s := &planSkeleton{flat: make([]bNode, 0, len(feats))}
+	cursor := 0
+	s.root, s.maxLevel = buildSkeleton(root, feats, &cursor, &s.flat)
+	return s
+}
+
+// batchScratch holds forwardBatch's grouping buffers, reused across
+// minibatch iterations so the grouping itself stays allocation-free.
+type batchScratch struct {
+	levels  [][]*bNode
+	groups  [int(planner.NumOpTypes)][]*bNode
+	opOrder []planner.OpType
+}
+
+// forwardBatch runs a batch of plan skeletons level by level: at each
+// level (leaves first) the nodes sharing an operator type form one matrix
+// through that operator's subnetwork. Every node's input, output, and
+// cache are bit-identical to the scalar forward — the batch only regroups
+// independent rows, never reorders arithmetic within one.
+func (m *Model) forwardBatch(ar *linalg.Arena, sc *batchScratch, skels []*planSkeleton) {
+	maxLevel := 0
+	for _, s := range skels {
+		if s.maxLevel > maxLevel {
+			maxLevel = s.maxLevel
+		}
+	}
+	for len(sc.levels) <= maxLevel {
+		sc.levels = append(sc.levels, nil)
+	}
+	levels := sc.levels[:maxLevel+1]
+	for l := range levels {
+		levels[l] = levels[l][:0]
+	}
+	for _, s := range skels {
+		for i := range s.flat {
+			bn := &s.flat[i]
+			levels[bn.level] = append(levels[bn.level], bn)
+		}
+	}
+	for _, lvl := range levels {
+		sc.opOrder = sc.opOrder[:0]
+		for _, bn := range lvl {
+			op := bn.tc.op
+			if len(sc.groups[op]) == 0 {
+				sc.opOrder = append(sc.opOrder, op)
+			}
+			sc.groups[op] = append(sc.groups[op], bn)
+		}
+		for _, op := range sc.opOrder {
+			group := sc.groups[op]
+			net := m.Nets[op]
+			x := ar.Alloc(len(group), net.InDim())
+			for r, bn := range group {
+				row := x.RowView(r)
+				copy(row, bn.feat)
+				// The child-sum suffix starts from explicit zeros (the
+				// arena hands out uninitialized memory) and accumulates
+				// child outputs in child order — the scalar order.
+				childSum := row[len(bn.feat):]
+				for k := range childSum {
+					childSum[k] = 0
+				}
+				for _, cc := range bn.tc.children {
+					for k, v := range cc.out {
+						childSum[k] += v
+					}
+				}
+			}
+			y, cache := net.ForwardBatch(ar, x)
+			for r, bn := range group {
+				tc := bn.tc
+				tc.input = x.RowView(r)
+				tc.out = y.RowView(r)
+				tc.bc = cache
+				tc.row = r
+			}
+			sc.groups[op] = group[:0]
+		}
 	}
 }
 
@@ -100,6 +282,38 @@ func (m *Model) backward(tc *treeCache, dOut []float64) {
 func (m *Model) PredictMs(root *planner.Node) float64 {
 	tc := m.forward(root)
 	return metrics.UnlogMs(tc.out[0])
+}
+
+// PredictBatch estimates every plan's execution time in one level-batched
+// pass. Output i is bit-identical to PredictMs(roots[i]).
+func (m *Model) PredictBatch(roots []*planner.Node) []float64 {
+	if len(roots) == 0 {
+		return nil
+	}
+	// Chunking bounds peak memory (skeletons, features, and layer caches
+	// are materialized per chunk); plans are independent, so results are
+	// unchanged.
+	const chunkNodes = 1024
+	out := make([]float64, len(roots))
+	ar := &linalg.Arena{}
+	sc := &batchScratch{}
+	var skels []*planSkeleton
+	for start := 0; start < len(roots); {
+		ar.Reset()
+		skels = skels[:0]
+		end, nodes := start, 0
+		for end < len(roots) && (end == start || nodes+roots[end].CountNodes() <= chunkNodes) {
+			skels = append(skels, newSkeleton(roots[end], planFeatures(m.F, roots[end])))
+			nodes += len(skels[len(skels)-1].flat)
+			end++
+		}
+		m.forwardBatch(ar, sc, skels)
+		for s := start; s < end; s++ {
+			out[s] = metrics.UnlogMs(skels[s-start].root.out[0])
+		}
+		start = end
+	}
+	return out
 }
 
 // layers collects every subnetwork's parameters for the optimizer.
@@ -114,6 +328,11 @@ func (m *Model) layers() []*nn.Linear {
 // Train fits the model on (plan, milliseconds) pairs for the given number
 // of iterations (mini-batch steps) and returns the wall-clock training
 // time — the quantity the paper's Table IV reports.
+//
+// Each minibatch runs the level-batched forward (features cached per plan
+// across iterations) and then backpropagates sample by sample over row
+// views of the batched caches, keeping gradient accumulation in the
+// scalar order; the trajectory is bit-identical to TrainReference.
 func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Duration {
 	start := time.Now()
 	if len(plans) == 0 {
@@ -124,15 +343,81 @@ func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Durat
 	for i, v := range ms {
 		targets[i] = metrics.LogMs(v)
 	}
+	bs := m.batch()
+	// Lazy per-plan state, built on a plan's first draw and reused for
+	// the rest of the call: featurization and execution skeleton.
+	skels := make([]*planSkeleton, len(plans))
+	usedIter := make([]int, len(plans))
+	for i := range usedIter {
+		usedIter[i] = -1
+	}
+	idx := make([]int, bs)
+	batchSkels := make([]*planSkeleton, bs)
+	dOut := make([]float64, m.OutVec)
+	ar := &linalg.Arena{} // per-iteration batch matrices, reused across iterations
+	sc := &batchScratch{}
+	for it := 0; it < iters; it++ {
+		ar.Reset()
+		for b := range idx {
+			j := m.rng.Intn(len(plans))
+			idx[b] = j
+			switch {
+			case skels[j] == nil:
+				skels[j] = newSkeleton(plans[j], planFeatures(m.F, plans[j]))
+				batchSkels[b] = skels[j]
+			case usedIter[j] == it:
+				// Duplicate draw within one minibatch: the cached
+				// skeleton's node outputs would be clobbered, so this
+				// occurrence gets a throwaway instance (features are
+				// still shared).
+				feats := make([][]float64, 0, len(skels[j].flat))
+				for i := range skels[j].flat {
+					feats = append(feats, skels[j].flat[i].feat)
+				}
+				batchSkels[b] = newSkeleton(plans[j], feats)
+			default:
+				batchSkels[b] = skels[j]
+			}
+			usedIter[j] = it
+		}
+		m.forwardBatch(ar, sc, batchSkels)
+		for b, sk := range batchSkels {
+			diff := sk.root.out[0] - targets[idx[b]]
+			for i := range dOut {
+				dOut[i] = 0
+			}
+			dOut[0] = 2 * diff
+			m.backward(ar, sk.root, dOut)
+		}
+		m.opt.Step(layers, bs)
+	}
+	return time.Since(start)
+}
+
+// TrainReference is the original per-sample training loop, retained as the
+// bit-equality oracle for Train (the equivalence tests assert identical
+// weight trajectories) and as the scalar arm of the train-iteration
+// microbenchmarks. It consumes the model's rng exactly like Train.
+func (m *Model) TrainReference(plans []*planner.Node, ms []float64, iters int) time.Duration {
+	start := time.Now()
+	if len(plans) == 0 {
+		return time.Since(start)
+	}
+	layers := m.layers()
+	targets := make([]float64, len(ms))
+	for i, v := range ms {
+		targets[i] = metrics.LogMs(v)
+	}
+	bs := m.batch()
 	for it := 0; it < iters; it++ {
 		sz := 0
-		for b := 0; b < batchSize; b++ {
+		for b := 0; b < bs; b++ {
 			j := m.rng.Intn(len(plans))
 			tc := m.forward(plans[j])
 			diff := tc.out[0] - targets[j]
 			dOut := make([]float64, m.OutVec)
 			dOut[0] = 2 * diff
-			m.backward(tc, dOut)
+			m.backwardReference(tc, dOut)
 			sz++
 		}
 		m.opt.Step(layers, sz)
@@ -145,12 +430,13 @@ func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Durat
 // against a new environment's snapshot.
 func (m *Model) Clone() *Model {
 	c := &Model{
-		F:      m.F,
-		Hidden: m.Hidden,
-		OutVec: m.OutVec,
-		Nets:   make(map[planner.OpType]*nn.MLP, len(m.Nets)),
-		opt:    nn.NewAdam(defaultLR),
-		rng:    rand.New(rand.NewSource(m.rng.Int63())),
+		F:         m.F,
+		Hidden:    m.Hidden,
+		OutVec:    m.OutVec,
+		Nets:      make(map[planner.OpType]*nn.MLP, len(m.Nets)),
+		BatchSize: m.BatchSize,
+		opt:       nn.NewAdam(defaultLR),
+		rng:       rand.New(rand.NewSource(m.rng.Int63())),
 	}
 	for op, net := range m.Nets {
 		c.Nets[op] = net.Clone()

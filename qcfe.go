@@ -216,6 +216,13 @@ func (e *CostEstimator) EstimateMs(plan *planner.Node) float64 {
 	return e.res.Model.PredictMs(plan)
 }
 
+// EstimateBatch predicts the execution time of many plans in one
+// vectorized inference pass — the serving path for pricing a workload.
+// Element i is bit-identical to EstimateMs(plans[i]).
+func (e *CostEstimator) EstimateBatch(plans []*planner.Node) []float64 {
+	return e.res.Model.PredictBatch(plans)
+}
+
 // EstimateSQL plans a query under env and predicts its cost without
 // executing it.
 func (e *CostEstimator) EstimateSQL(env *Environment, sql string) (float64, error) {
@@ -224,6 +231,20 @@ func (e *CostEstimator) EstimateSQL(env *Environment, sql string) (float64, erro
 		return 0, err
 	}
 	return e.res.Model.PredictMs(node), nil
+}
+
+// EstimateSQLBatch plans every query under env on the worker pool and
+// prices the batch in one vectorized inference pass. Results are in input
+// order and bit-identical to calling EstimateSQL per query; the first
+// query that fails to parse or plan fails the whole batch.
+func (e *CostEstimator) EstimateSQLBatch(env *Environment, sqls []string) ([]float64, error) {
+	nodes, err := parallel.Map(len(sqls), 0, func(i int) (*planner.Node, error) {
+		return planAnnotated(e.bench.ds, env, sqls[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.res.Model.PredictBatch(nodes), nil
 }
 
 // Evaluate computes q-error and correlation metrics on test samples.

@@ -3,6 +3,9 @@ package qcfe
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/planner"
+	"repro/internal/workload"
 )
 
 func TestOpenBenchmarkNames(t *testing.T) {
@@ -82,6 +85,47 @@ func TestEndToEndPipeline(t *testing.T) {
 	if _, err := est.EstimateSQL(envs[0], "garbage"); err == nil {
 		t.Fatalf("bad SQL should error")
 	}
+	assertBatchEquivalence(t, est, envs[0], test)
+}
+
+// assertBatchEquivalence locks in the serving-path determinism rule: the
+// batched estimation APIs must reproduce the per-sample APIs bit for bit.
+func assertBatchEquivalence(t *testing.T, est *CostEstimator, env *Environment, test []workload.Sample) {
+	t.Helper()
+	plans := make([]*planner.Node, len(test))
+	for i, s := range test {
+		plans[i] = s.Plan
+	}
+	batch := est.EstimateBatch(plans)
+	if len(batch) != len(plans) {
+		t.Fatalf("EstimateBatch returned %d results for %d plans", len(batch), len(plans))
+	}
+	for i, p := range plans {
+		if s := est.EstimateMs(p); batch[i] != s {
+			t.Fatalf("plan %d: EstimateBatch %v != EstimateMs %v", i, batch[i], s)
+		}
+	}
+	sqls := []string{
+		"SELECT COUNT(*) FROM sbtest1 WHERE id BETWEEN 100 AND 300",
+		"SELECT * FROM sbtest1 WHERE id = 7",
+		"SELECT * FROM sbtest1 WHERE k < 500",
+	}
+	got, err := est.EstimateSQLBatch(env, sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sql := range sqls {
+		want, err := est.EstimateSQL(env, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("sql %d: EstimateSQLBatch %v != EstimateSQL %v", i, got[i], want)
+		}
+	}
+	if _, err := est.EstimateSQLBatch(env, []string{"SELECT * FROM sbtest1", "garbage"}); err == nil {
+		t.Fatalf("bad SQL in batch should error")
+	}
 }
 
 func TestPipelineOptions(t *testing.T) {
@@ -106,6 +150,9 @@ func TestPipelineOptions(t *testing.T) {
 		t.Fatalf("disabled stages leaked: %v %v", est.ReductionRatio(), est.SnapshotCollectionMs())
 	}
 	_ = est.Evaluate(test)
+	// Batch/scalar equivalence on the qppnet pipeline too (the end-to-end
+	// test covers mscn).
+	assertBatchEquivalence(t, est, envs[0], test)
 }
 
 func TestTransferAPI(t *testing.T) {
