@@ -1,0 +1,105 @@
+// Command qcfe-serve is the serving daemon of the train-once/serve-many
+// flow: it loads a model artifact written by CostEstimator.Save (e.g.
+// via `qcfe-bench -save`), and serves cost estimates over HTTP, turning
+// the estimator stack's batched inference kernels into throughput by
+// coalescing concurrent single-query requests into micro-batches.
+//
+// Usage:
+//
+//	qcfe-serve -artifact model.qcfe -addr :8080
+//
+// Endpoints:
+//
+//	POST /estimate        {"env":0,"sql":"SELECT ..."}  → {"ms":1.23}
+//	POST /estimate_batch  {"env":0,"sqls":["...",...]}  → {"ms":[...]}
+//	GET  /healthz                                       → model identity
+//	GET  /stats                                         → serving counters
+//
+// Predictions are bit-identical to the library's EstimateSQL on the same
+// artifact. SIGINT/SIGTERM trigger a graceful shutdown: in-flight
+// requests finish, queued requests fail with a shutdown error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	qcfe "repro"
+	"repro/internal/parallel"
+	"repro/internal/serve"
+)
+
+func main() {
+	artifactPath := flag.String("artifact", "", "path to a model artifact written by CostEstimator.Save / qcfe-bench -save (required)")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	maxBatch := flag.Int("max-batch", 64, "largest coalesced micro-batch")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "longest a request waits for batch companions")
+	workers := flag.Int("workers", 0, "worker-pool size for the per-batch planning fan-out (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *artifactPath == "" {
+		fmt.Fprintln(os.Stderr, "qcfe-serve: -artifact is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	parallel.SetDefaultWorkers(*workers)
+
+	if err := run(*artifactPath, *addr, serve.Options{MaxBatch: *maxBatch, BatchWindow: *batchWindow}); err != nil {
+		fmt.Fprintf(os.Stderr, "qcfe-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(artifactPath, addr string, opts serve.Options) error {
+	f, err := os.Open(artifactPath)
+	if err != nil {
+		return err
+	}
+	est, err := qcfe.LoadEstimator(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("qcfe-serve: loaded %s estimator for %s (%d environments, trained %.1fs)\n",
+		est.ModelName(), est.BenchmarkName(), len(est.Environments()), est.TrainSeconds())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.New(est, opts)
+	go srv.Run(ctx)
+
+	httpSrv := &http.Server{
+		Addr:    addr,
+		Handler: srv.Handler(),
+		// Request contexts descend from the signal context, so shutdown
+		// cancels in-flight planning fan-outs too.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("qcfe-serve: listening on %s\n", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Println("qcfe-serve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

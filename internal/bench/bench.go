@@ -1,7 +1,8 @@
 // Package bench is the microbenchmark harness behind the CI
 // benchmark-regression gate: it measures the estimator stack's scalar and
-// batched hot paths (training iterations, predictions) on the quick grid
-// and emits machine-readable rows — the BENCH_PR2.json schema:
+// batched hot paths (training iterations, predictions, coalesced
+// serving) on the quick grid and emits machine-readable rows — the
+// BENCH_PR3.json schema (unchanged from BENCH_PR2.json):
 //
 //	[{"name": ..., "iters": ..., "ns_per_op": ..., "allocs_per_op": ...}, ...]
 //
@@ -17,14 +18,18 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	qcfe "repro"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dbenv"
@@ -33,6 +38,7 @@ import (
 	"repro/internal/mscn"
 	"repro/internal/nn"
 	"repro/internal/qppnet"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -63,6 +69,13 @@ const (
 	QPPPredictBatch    = "qppnet/predict-batch"
 	QPPTrainIterScalar = "qppnet/train-iter-scalar"
 	QPPTrainIterBatch  = "qppnet/train-iter-batch"
+
+	// ServeCoalesced measures end-to-end serving throughput: concurrent
+	// single-query requests through the qcfe-serve coalescing queue
+	// (SQL parse + plan fan-out + micro-batched inference per request).
+	// Reported but not gated: it folds in scheduler and queue timing,
+	// which is too noisy for a hard CI threshold.
+	ServeCoalesced = "serve/estimate-coalesced"
 )
 
 // Gated lists the rows the CI gate checks for predictions/sec regressions:
@@ -186,7 +199,61 @@ func Run() ([]Row, error) {
 			qtb.Train(plans, ms, trainIters)
 		}
 	}))
+
+	serveRow, err := benchServe(envs, lab.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve: %w", err)
+	}
+	rows = append(rows, serveRow)
 	return rows, nil
+}
+
+// benchServe measures the serving front end end to end: `conc`
+// concurrent clients issue single-query estimates against the coalescing
+// queue, which groups them into micro-batches over the batched inference
+// path — the qcfe-serve hot loop minus HTTP framing. ns_per_op is per
+// served request.
+func benchServe(envs []*dbenv.Environment, samples []workload.Sample) (Row, error) {
+	b, err := qcfe.OpenBenchmark("tpch", 1) // cached: same dataset the grid built
+	if err != nil {
+		return Row{}, err
+	}
+	// Train cheaply: serving throughput is inference-bound, so reduction
+	// is disabled and the iteration budget kept small.
+	est, err := qcfe.NewPipeline("mscn",
+		qcfe.WithTrainIters(30), qcfe.WithReduction("none"), qcfe.WithSeed(1),
+	).Fit(b, envs, samples)
+	if err != nil {
+		return Row{}, err
+	}
+	srv := serve.New(est, serve.Options{MaxBatch: 64, BatchWindow: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Run(ctx)
+
+	const conc = 32
+	sqls := make([]string, conc)
+	for i := range sqls {
+		sqls[i] = samples[i%len(samples)].SQL
+	}
+	row := run(ServeCoalesced, conc, func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < conc; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					env := envs[c%len(envs)]
+					if _, err := srv.Estimate(ctx, env.ID, sqls[c]); err != nil {
+						panic(fmt.Sprintf("bench: serve estimate: %v", err))
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+	})
+	return row, nil
 }
 
 // benchCalib is the machine-speed proxy the regression gate normalizes

@@ -159,7 +159,7 @@ func TestOperatorDatasetShape(t *testing.T) {
 }
 
 func TestNewEstimatorUnknown(t *testing.T) {
-	if _, err := NewEstimator("tree-lstm", nil, 1); err == nil {
+	if _, err := NewEstimator("tree-lstm", nil, nil, 1); err == nil {
 		t.Fatalf("unknown model should error")
 	}
 }
@@ -204,7 +204,7 @@ func TestTrainCurveDecreases(t *testing.T) {
 	cfg.Reduction = ReduceNone
 	train, test := workload.Split(pool.Scale(400), 0.8)
 	f := &encoding.Featurizer{Enc: encoding.New(sysb.Schema)}
-	m, err := NewEstimator("mscn", f, 2)
+	m, err := NewEstimator("mscn", f, sysb.Stats, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

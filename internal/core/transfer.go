@@ -27,6 +27,9 @@ func cloneEstimator(e Estimator) (Estimator, error) {
 		return m.Clone(), nil
 	case *mscn.Model:
 		return m.Clone(), nil
+	case *Analytic:
+		// Stateless: transferring the analytic baseline is the identity.
+		return m, nil
 	}
 	return nil, fmt.Errorf("core: cannot clone estimator %T", e)
 }

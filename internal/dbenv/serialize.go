@@ -1,0 +1,52 @@
+package dbenv
+
+import "repro/internal/artifact"
+
+// Encode appends the full environment — ID, knobs, hardware profile,
+// storage format, noise level — to the artifact payload. The hardware
+// profile is written field by field rather than by name so artifacts
+// survive edits to the built-in Profiles fleet (and environments with
+// custom hardware round-trip exactly).
+func (e *Environment) Encode(enc *artifact.Encoder) {
+	enc.Int(e.ID)
+	enc.Int(e.Knobs.SharedBuffersMB)
+	enc.Int(e.Knobs.WorkMemKB)
+	enc.Bool(e.Knobs.EnableIndexScan)
+	enc.Bool(e.Knobs.EnableHashJoin)
+	enc.Bool(e.Knobs.EnableMergeJoin)
+	enc.Bool(e.Knobs.EnableNestLoop)
+	enc.Int(e.Knobs.ParallelWorkers)
+	enc.Bool(e.Knobs.JIT)
+	enc.Str(e.HW.Name)
+	enc.F64(e.HW.SeqReadMBps)
+	enc.F64(e.HW.RandIOPS)
+	enc.F64(e.HW.CPUFactor)
+	enc.Int(e.HW.MemoryGB)
+	enc.Int(int(e.Format))
+	enc.F64(e.NoiseStd)
+}
+
+// Decode reads an environment written by Encode.
+func Decode(d *artifact.Decoder) (*Environment, error) {
+	e := &Environment{}
+	e.ID = d.Int()
+	e.Knobs.SharedBuffersMB = d.Int()
+	e.Knobs.WorkMemKB = d.Int()
+	e.Knobs.EnableIndexScan = d.Bool()
+	e.Knobs.EnableHashJoin = d.Bool()
+	e.Knobs.EnableMergeJoin = d.Bool()
+	e.Knobs.EnableNestLoop = d.Bool()
+	e.Knobs.ParallelWorkers = d.Int()
+	e.Knobs.JIT = d.Bool()
+	e.HW.Name = d.Str()
+	e.HW.SeqReadMBps = d.F64()
+	e.HW.RandIOPS = d.F64()
+	e.HW.CPUFactor = d.F64()
+	e.HW.MemoryGB = d.Int()
+	e.Format = StorageFormat(d.Int())
+	e.NoiseStd = d.F64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/catalog"
 	"repro/internal/dbenv"
 	"repro/internal/parallel"
@@ -38,6 +40,15 @@ type PoolResult struct {
 // carries its own noise sequence and results land in index-addressed
 // slots, the output is bit-identical at any worker count.
 func ExecutePool(schema *catalog.Schema, stats *catalog.Stats, db *storage.Database, tasks []PoolTask, workers int) []PoolResult {
+	res, _ := ExecutePoolCtx(context.Background(), schema, stats, db, tasks, workers)
+	return res
+}
+
+// ExecutePoolCtx is ExecutePool with cooperative cancellation: workers
+// stop claiming tasks once ctx is cancelled and ExecutePoolCtx returns
+// ctx's error together with the partial (index-aligned) results — tasks
+// that never ran read as not-OK.
+func ExecutePoolCtx(ctx context.Context, schema *catalog.Schema, stats *catalog.Stats, db *storage.Database, tasks []PoolTask, workers int) ([]PoolResult, error) {
 	type envState struct {
 		pl *planner.Planner
 		ex *Executor
@@ -45,7 +56,7 @@ func ExecutePool(schema *catalog.Schema, stats *catalog.Stats, db *storage.Datab
 	w := parallel.Workers(workers)
 	states := make([]map[int]*envState, w)
 	results := make([]PoolResult, len(tasks))
-	parallel.ForEachWorker(len(tasks), w, func(worker, ti int) {
+	err := parallel.ForEachWorkerCtx(ctx, len(tasks), w, func(worker, ti int) {
 		t := tasks[ti]
 		if states[worker] == nil {
 			states[worker] = make(map[int]*envState)
@@ -69,5 +80,5 @@ func ExecutePool(schema *catalog.Schema, stats *catalog.Stats, db *storage.Datab
 		}
 		results[ti] = PoolResult{Node: node, Ms: res.TotalMs, OK: true}
 	})
-	return results
+	return results, err
 }

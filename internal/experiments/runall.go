@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/parallel"
@@ -20,6 +21,15 @@ func ExperimentIDs() []string {
 // afterwards, serially, so their wall-clock measurements do not contend
 // with other runners for cores.
 func (s *Suite) RunAll(exp string, benchmarks []string) error {
+	return s.RunAllCtx(context.Background(), exp, benchmarks)
+}
+
+// RunAllCtx is RunAll with cooperative cancellation: experiments not yet
+// started when ctx is cancelled never start (the fan-out and the serial
+// timing tail both check ctx between experiments), and the labeling
+// pipeline inside each runner inherits the same cancellation through the
+// worker pool. Experiments already running finish and flush their block.
+func (s *Suite) RunAllCtx(ctx context.Context, exp string, benchmarks []string) error {
 	if !validExperiment(exp) {
 		return fmt.Errorf("experiments: unknown experiment %q", exp)
 	}
@@ -50,12 +60,15 @@ func (s *Suite) RunAll(exp string, benchmarks []string) error {
 		}
 		add("table5", func() error { _, err := s.Table5(b, scales); return err })
 	}
-	if err := parallel.Do(0, jobs...); err != nil {
+	if err := parallel.DoCtx(ctx, 0, jobs...); err != nil {
 		return err
 	}
 
-	// Timing-sensitive experiments, serial and last.
+	// Timing-sensitive experiments, serial and last, each gated on ctx.
 	if do("table6") {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if _, err := s.Table6([]int{200, 250, 300, 400, 500}); err != nil {
 			return err
 		}
@@ -65,11 +78,17 @@ func (s *Suite) RunAll(exp string, benchmarks []string) error {
 			continue // §V-E evaluates transfer on TPC-H and job-light
 		}
 		if do("table7") {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if _, err := s.Table7(b); err != nil {
 				return err
 			}
 		}
 		if do("fig8") {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if _, err := s.Figure8(b); err != nil {
 				return err
 			}

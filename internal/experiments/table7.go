@@ -195,7 +195,7 @@ func (s *Suite) figure8Impl(benchmark string) ([]Fig8Series, error) {
 		return nil, err
 	}
 	freshF := basisFeaturizerWith(basis, h2snaps)
-	fresh, err := core.NewEstimator("qppnet", freshF, s.P.Seed+9)
+	fresh, err := core.NewEstimator("qppnet", freshF, ds.Stats, s.P.Seed+9)
 	if err != nil {
 		return nil, err
 	}

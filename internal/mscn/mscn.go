@@ -16,6 +16,7 @@
 package mscn
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -185,9 +186,20 @@ func poolByPlan(ar *linalg.Arena, emb *linalg.Matrix, counts []int) *linalg.Matr
 // through both networks. The weight trajectory is bit-identical to
 // TrainReference with the same model state and iteration count.
 func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Duration {
+	d, _ := m.TrainCtx(context.Background(), plans, ms, iters)
+	return d
+}
+
+// TrainCtx is Train with cooperative cancellation: ctx is checked at the
+// top of every minibatch iteration — never inside one — so cancellation
+// stops training promptly (within one minibatch) and the weights are
+// always left in the consistent state of the last completed optimizer
+// step. Iterations that do run consume rng and update weights exactly
+// like Train, so an uncancelled TrainCtx is bit-identical to Train.
+func (m *Model) TrainCtx(ctx context.Context, plans []*planner.Node, ms []float64, iters int) (time.Duration, error) {
 	start := time.Now()
 	if len(plans) == 0 {
-		return time.Since(start)
+		return time.Since(start), nil
 	}
 	layers := nn.LayersOf(m.SetNet, m.OutNet)
 	targets := make([]float64, len(ms))
@@ -200,6 +212,9 @@ func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Durat
 	counts := make([]int, bs)
 	ar := &linalg.Arena{} // per-iteration batch matrices, reused across iterations
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return time.Since(start), err
+		}
 		ar.Reset()
 		total := 0
 		for b := range idx {
@@ -245,7 +260,7 @@ func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Durat
 		m.SetNet.BackwardBatchNoInput(ar, setCache, dEmb)
 		m.opt.Step(layers, bs)
 	}
-	return time.Since(start)
+	return time.Since(start), nil
 }
 
 // TrainReference is the original per-sample training loop, retained as the

@@ -16,6 +16,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -63,8 +64,18 @@ func ForEach(n, workers int, fn func(i int)) {
 // worker w, where w is in [0, Workers(workers)). Callers use w to maintain
 // per-goroutine state (e.g. one engine.Executor per worker) without locks.
 func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	ForEachWorkerCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachWorkerCtx is ForEachWorker with cooperative cancellation: every
+// worker checks ctx before claiming each task and stops claiming once ctx
+// is cancelled. Tasks already running are allowed to finish — fn is never
+// interrupted mid-call — so when ForEachWorkerCtx returns, no fn is still
+// executing. It returns ctx's error when cancellation kept at least the
+// task claim loop from completing, nil when every task ran.
+func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	w := Workers(workers)
 	if w > n {
@@ -72,9 +83,12 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(0, i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -82,7 +96,7 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	for g := 0; g < w; g++ {
 		go func(worker int) {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -92,6 +106,16 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 		}(g)
 	}
 	wg.Wait()
+	if int(next.Load()) < n {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// ForEachCtx is ForEach with cooperative cancellation (see
+// ForEachWorkerCtx for the exact semantics).
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ForEachWorkerCtx(ctx, n, workers, func(_, i int) { fn(i) })
 }
 
 // Map runs fn for every index and returns the results in index order. If
@@ -99,15 +123,26 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 // every call has finished), so the reported failure does not depend on
 // scheduling.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, workers, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: workers stop claiming
+// tasks once ctx is cancelled and MapCtx returns an error. A task error
+// (lowest failing index) takes precedence over the cancellation error,
+// so error reporting stays deterministic.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
-	ForEach(n, workers, func(i int) {
+	ctxErr := ForEachWorkerCtx(ctx, n, workers, func(_, i int) {
 		out[i], errs[i] = fn(i)
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	return out, nil
 }
@@ -117,7 +152,14 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 // the experiments suite uses it to run independent figure/table runners
 // side by side.
 func Do(workers int, tasks ...func() error) error {
-	_, err := Map(len(tasks), workers, func(i int) (struct{}, error) {
+	return DoCtx(context.Background(), workers, tasks...)
+}
+
+// DoCtx is Do with cooperative cancellation: tasks not yet started when
+// ctx is cancelled never start, and DoCtx then returns ctx's error
+// (unless an earlier-indexed task failed first).
+func DoCtx(ctx context.Context, workers int, tasks ...func() error) error {
+	_, err := MapCtx(ctx, len(tasks), workers, func(i int) (struct{}, error) {
 		return struct{}{}, tasks[i]()
 	})
 	return err

@@ -19,6 +19,7 @@
 package qppnet
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -334,9 +335,20 @@ func (m *Model) layers() []*nn.Linear {
 // views of the batched caches, keeping gradient accumulation in the
 // scalar order; the trajectory is bit-identical to TrainReference.
 func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Duration {
+	d, _ := m.TrainCtx(context.Background(), plans, ms, iters)
+	return d
+}
+
+// TrainCtx is Train with cooperative cancellation: ctx is checked at the
+// top of every minibatch iteration — never inside one — so cancellation
+// stops training promptly (within one minibatch) and the weights are
+// always left in the consistent state of the last completed optimizer
+// step. Iterations that do run consume rng and update weights exactly
+// like Train, so an uncancelled TrainCtx is bit-identical to Train.
+func (m *Model) TrainCtx(ctx context.Context, plans []*planner.Node, ms []float64, iters int) (time.Duration, error) {
 	start := time.Now()
 	if len(plans) == 0 {
-		return time.Since(start)
+		return time.Since(start), nil
 	}
 	layers := m.layers()
 	targets := make([]float64, len(ms))
@@ -357,6 +369,9 @@ func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Durat
 	ar := &linalg.Arena{} // per-iteration batch matrices, reused across iterations
 	sc := &batchScratch{}
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return time.Since(start), err
+		}
 		ar.Reset()
 		for b := range idx {
 			j := m.rng.Intn(len(plans))
@@ -391,7 +406,7 @@ func (m *Model) Train(plans []*planner.Node, ms []float64, iters int) time.Durat
 		}
 		m.opt.Step(layers, bs)
 	}
-	return time.Since(start)
+	return time.Since(start), nil
 }
 
 // TrainReference is the original per-sample training loop, retained as the

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// HTTP request/response bodies. The /estimate_batch response shape
+// ({"ms":[...]}) is deliberately identical to qcfe-bench's -load
+// -estimate output, so the CI smoke test can diff the server against the
+// library byte for byte.
+
+// EstimateRequest is the /estimate body.
+type EstimateRequest struct {
+	Env int    `json:"env"`
+	SQL string `json:"sql"`
+}
+
+// EstimateResponse is the /estimate reply.
+type EstimateResponse struct {
+	Ms float64 `json:"ms"`
+}
+
+// BatchRequest is the /estimate_batch body.
+type BatchRequest struct {
+	Env  int      `json:"env"`
+	SQLs []string `json:"sqls"`
+}
+
+// BatchResponse is the /estimate_batch reply.
+type BatchResponse struct {
+	Ms []float64 `json:"ms"`
+}
+
+// healthResponse is the /healthz reply.
+type healthResponse struct {
+	Status    string  `json:"status"`
+	Model     string  `json:"model"`
+	Benchmark string  `json:"benchmark"`
+	Envs      int     `json:"envs"`
+	UptimeS   float64 `json:"uptime_s"`
+}
+
+// statsResponse is the /stats reply.
+type statsResponse struct {
+	Stats
+	MaxBatch      int     `json:"max_batch"`
+	BatchWindowMs float64 `json:"batch_window_ms"`
+}
+
+// errorResponse is every error reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API over the server:
+//
+//	POST /estimate        {"env":0,"sql":"..."}        → {"ms":1.23}
+//	POST /estimate_batch  {"env":0,"sqls":["...",...]} → {"ms":[...]}
+//	GET  /healthz                                      → status + model identity
+//	GET  /stats                                        → serving counters
+//
+// Single estimates coalesce with concurrent requests into micro-batches;
+// batch estimates run directly through the batched inference path. Both
+// carry the request's context, so a disconnecting client cancels its
+// planning fan-out.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req EstimateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		ms, err := s.Estimate(r.Context(), req.Env, req.SQL)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, EstimateResponse{Ms: ms})
+	})
+	mux.HandleFunc("/estimate_batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		ms, err := s.EstimateBatch(r.Context(), req.Env, req.SQLs)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		if ms == nil {
+			ms = []float64{}
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{Ms: ms})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !requireGet(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, healthResponse{
+			Status:    "ok",
+			Model:     s.est.ModelName(),
+			Benchmark: s.est.BenchmarkName(),
+			Envs:      len(s.est.Environments()),
+			UptimeS:   s.Uptime().Seconds(),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !requireGet(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, statsResponse{
+			Stats:         s.Stats(),
+			MaxBatch:      s.opts.MaxBatch,
+			BatchWindowMs: float64(s.opts.BatchWindow.Milliseconds()),
+		})
+	})
+	return mux
+}
+
+// statusFor classifies an estimate error: cancellation (a draining
+// server or a vanished client) is 503 — retryable, not the client's
+// fault — while everything else (bad SQL, unknown environment) is 400.
+func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

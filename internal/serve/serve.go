@@ -1,0 +1,321 @@
+// Package serve is the context-aware serving layer over a trained cost
+// estimator: a long-lived Server object constructed once from a loaded
+// artifact and queried concurrently, in the mold of a query engine built
+// once from options with context.Context plumbed through every
+// execution path.
+//
+// Its core mechanism is micro-batch coalescing: concurrent single-query
+// Estimate calls enqueue into one channel, a batcher goroutine drains
+// them — waiting at most Options.BatchWindow to fill a batch of up to
+// Options.MaxBatch — groups them by environment, and prices each group
+// through the estimator's batched inference path. Batched inference is
+// bit-identical to per-query inference, so coalescing changes latency
+// shape, never results. This is what turns the estimator stack's batched
+// kernels into serving throughput: N concurrent clients cost ~1 batched
+// inference pass instead of N scalar ones.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	qcfe "repro"
+)
+
+// Estimator is the slice of the qcfe API the server needs.
+// *qcfe.CostEstimator satisfies it; tests substitute fakes to probe
+// coalescing behavior.
+type Estimator interface {
+	ModelName() string
+	BenchmarkName() string
+	Environments() []*qcfe.Environment
+	EstimateSQL(env *qcfe.Environment, sql string) (float64, error)
+	EstimateSQLBatchCtx(ctx context.Context, env *qcfe.Environment, sqls []string) ([]float64, error)
+}
+
+// Options configures the serving behavior.
+type Options struct {
+	// MaxBatch is the largest coalesced micro-batch (default 64). A flush
+	// happens as soon as this many requests are pending.
+	MaxBatch int
+	// BatchWindow is the longest a request waits for companions before
+	// its batch is flushed anyway (default 2ms). Zero keeps the default;
+	// negative flushes immediately (batching only under instantaneous
+	// concurrency).
+	BatchWindow time.Duration
+	// QueueDepth bounds the pending-request queue (default 1024).
+	// Enqueueing beyond it blocks the client — backpressure, not
+	// unbounded memory.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	return o
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	// Requests counts single-query estimate requests (the coalescing
+	// path).
+	Requests int64 `json:"requests"`
+	// BatchRequests counts queries that arrived through explicit batch
+	// requests (already batched by the client; not coalesced again).
+	BatchRequests int64 `json:"batch_requests"`
+	// Flushes counts coalesced micro-batches priced.
+	Flushes int64 `json:"flushes"`
+	// Coalesced counts single-query requests that shared their
+	// micro-batch with at least one other request.
+	Coalesced int64 `json:"coalesced"`
+	// Errors counts requests that returned an error.
+	Errors int64 `json:"errors"`
+	// MeanBatch is Requests/Flushes — the average micro-batch size the
+	// coalescer achieved.
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// result is one request's outcome.
+type result struct {
+	ms  float64
+	err error
+}
+
+// request is one enqueued single-query estimate.
+type request struct {
+	env   *qcfe.Environment
+	sql   string
+	reply chan result
+}
+
+// Server is a concurrency-safe serving front end over one estimator.
+// Construct with New, start the batcher with Run, and serve traffic
+// through Estimate/EstimateBatch or the HTTP handler.
+type Server struct {
+	est   Estimator
+	opts  Options
+	queue chan *request
+	start time.Time
+
+	requests      atomic.Int64
+	batchRequests atomic.Int64
+	flushes       atomic.Int64
+	coalesced     atomic.Int64
+	errors        atomic.Int64
+}
+
+// New builds a server over a loaded estimator.
+func New(est Estimator, opts Options) *Server {
+	o := opts.withDefaults()
+	return &Server{
+		est:   est,
+		opts:  o,
+		queue: make(chan *request, o.QueueDepth),
+		start: time.Now(),
+	}
+}
+
+// Run drains the coalescing queue until ctx is cancelled, then fails any
+// still-pending requests with ctx's error and returns it. It is the
+// server's only background goroutine; call it exactly once, typically
+// via `go srv.Run(ctx)`.
+func (s *Server) Run(ctx context.Context) error {
+	for {
+		// Shutdown takes priority over pending work: once ctx is
+		// cancelled, queued requests fail fast instead of racing the
+		// Done case in the select below.
+		if err := ctx.Err(); err != nil {
+			s.drainFailed(err)
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			s.drainFailed(ctx.Err())
+			return ctx.Err()
+		case first := <-s.queue:
+			s.flush(ctx, s.gather(ctx, first))
+		}
+	}
+}
+
+// gather collects one micro-batch: the first request plus whatever else
+// arrives within BatchWindow, capped at MaxBatch.
+func (s *Server) gather(ctx context.Context, first *request) []*request {
+	batch := []*request{first}
+	if s.opts.BatchWindow < 0 {
+		// Immediate mode: take only what is already pending.
+		for len(batch) < s.opts.MaxBatch {
+			select {
+			case r := <-s.queue:
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.opts.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.opts.MaxBatch {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-ctx.Done():
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush prices one micro-batch: requests are grouped by environment
+// (preserving arrival order within each group) and each group runs
+// through the estimator's batched path. A group whose batch call fails —
+// one malformed query fails a whole library batch — falls back to
+// per-request estimation so errors stay isolated to the requests that
+// caused them.
+func (s *Server) flush(ctx context.Context, batch []*request) {
+	s.flushes.Add(1)
+	if len(batch) > 1 {
+		s.coalesced.Add(int64(len(batch)))
+	}
+	// Group by environment ID, preserving order: order indexes the
+	// batch's requests per group.
+	groups := make(map[int][]*request)
+	var order []int
+	for _, r := range batch {
+		id := r.env.ID
+		if _, ok := groups[id]; !ok {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], r)
+	}
+	for _, id := range order {
+		group := groups[id]
+		sqls := make([]string, len(group))
+		for i, r := range group {
+			sqls[i] = r.sql
+		}
+		ms, err := s.est.EstimateSQLBatchCtx(ctx, group[0].env, sqls)
+		if err == nil {
+			for i, r := range group {
+				r.reply <- result{ms: ms[i]}
+			}
+			continue
+		}
+		// Cancellation is shutdown, not a query failure: fail the group
+		// fast instead of re-pricing it serially without a context.
+		if cerr := ctx.Err(); cerr != nil {
+			for _, r := range group {
+				s.errors.Add(1)
+				r.reply <- result{err: fmt.Errorf("serve: shutting down: %w", cerr)}
+			}
+			continue
+		}
+		// Isolate the failure: price each request alone.
+		for _, r := range group {
+			v, rerr := s.est.EstimateSQL(r.env, r.sql)
+			if rerr != nil {
+				s.errors.Add(1)
+			}
+			r.reply <- result{ms: v, err: rerr}
+		}
+	}
+}
+
+// drainFailed fails every request still queued at shutdown.
+func (s *Server) drainFailed(err error) {
+	for {
+		select {
+		case r := <-s.queue:
+			s.errors.Add(1)
+			r.reply <- result{err: fmt.Errorf("serve: shutting down: %w", err)}
+		default:
+			return
+		}
+	}
+}
+
+// EnvByID resolves an environment from the estimator's trained set.
+func (s *Server) EnvByID(id int) (*qcfe.Environment, error) {
+	for _, env := range s.est.Environments() {
+		if env.ID == id {
+			return env, nil
+		}
+	}
+	return nil, fmt.Errorf("serve: unknown environment %d (artifact has %d environments)", id, len(s.est.Environments()))
+}
+
+// Estimate prices one query under the environment with the given ID,
+// coalescing with concurrent callers into a micro-batch. It blocks until
+// the batcher replies or ctx is cancelled; predictions are bit-identical
+// to the library's EstimateSQL.
+func (s *Server) Estimate(ctx context.Context, envID int, sql string) (float64, error) {
+	env, err := s.EnvByID(envID)
+	if err != nil {
+		s.errors.Add(1)
+		return 0, err
+	}
+	s.requests.Add(1)
+	r := &request{env: env, sql: sql, reply: make(chan result, 1)}
+	select {
+	case s.queue <- r:
+	case <-ctx.Done():
+		s.errors.Add(1)
+		return 0, ctx.Err()
+	}
+	select {
+	case res := <-r.reply:
+		return res.ms, res.err
+	case <-ctx.Done():
+		// The batcher will still price the request and drop the reply
+		// into the buffered channel; the caller just stopped waiting.
+		s.errors.Add(1)
+		return 0, ctx.Err()
+	}
+}
+
+// EstimateBatch prices a client-assembled batch directly through the
+// estimator's batched path (no re-coalescing).
+func (s *Server) EstimateBatch(ctx context.Context, envID int, sqls []string) ([]float64, error) {
+	env, err := s.EnvByID(envID)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	s.batchRequests.Add(int64(len(sqls)))
+	ms, err := s.est.EstimateSQLBatchCtx(ctx, env, sqls)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	return ms, nil
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:      s.requests.Load(),
+		BatchRequests: s.batchRequests.Load(),
+		Flushes:       s.flushes.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Errors:        s.errors.Load(),
+	}
+	if st.Flushes > 0 {
+		st.MeanBatch = float64(st.Requests) / float64(st.Flushes)
+	}
+	return st
+}
+
+// Uptime reports how long the server object has existed.
+func (s *Server) Uptime() time.Duration { return time.Since(s.start) }

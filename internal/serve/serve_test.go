@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	qcfe "repro"
+)
+
+// fixture shares one small trained estimator across the package's tests
+// (training dominates test runtime; the server under test is cheap).
+var fixture struct {
+	once sync.Once
+	est  *qcfe.CostEstimator
+	err  error
+}
+
+func testEstimator(t *testing.T) *qcfe.CostEstimator {
+	t.Helper()
+	fixture.once.Do(func() {
+		b, err := qcfe.OpenBenchmark("sysbench", 1)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		envs := qcfe.RandomEnvironments(2, 1)
+		pool, err := b.CollectWorkload(envs, 80, 1)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		train, _ := pool.Split(0.8)
+		fixture.est, fixture.err = qcfe.NewPipeline("mscn",
+			qcfe.WithTrainIters(40), qcfe.WithReferences(20), qcfe.WithSeed(3),
+		).Fit(b, envs, train)
+	})
+	if fixture.err != nil {
+		t.Fatal(fixture.err)
+	}
+	return fixture.est
+}
+
+// startServer builds a Server plus its HTTP front end and runs the
+// batcher until the test ends.
+func startServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(testEstimator(t), opts)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { srv.Run(ctx); close(done) }()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		<-done
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func testSQL(i int) string {
+	switch i % 3 {
+	case 0:
+		return fmt.Sprintf("SELECT COUNT(*) FROM sbtest1 WHERE id BETWEEN %d AND %d", 50+i, 250+i)
+	case 1:
+		return fmt.Sprintf("SELECT * FROM sbtest1 WHERE id = %d", 1+i)
+	default:
+		return fmt.Sprintf("SELECT * FROM sbtest1 WHERE k < %d", 100+i)
+	}
+}
+
+// TestHTTPParityUnderConcurrentLoad is the serving contract: concurrent
+// /estimate requests — coalesced into micro-batches server-side — return
+// exactly the library's EstimateSQL predictions.
+func TestHTTPParityUnderConcurrentLoad(t *testing.T) {
+	est := testEstimator(t)
+	_, ts := startServer(t, Options{MaxBatch: 16, BatchWindow: 5 * time.Millisecond})
+
+	const n = 48
+	envs := est.Environments()
+	results := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			env := envs[i%len(envs)]
+			resp, body := postJSON(t, ts.URL+"/estimate",
+				fmt.Sprintf(`{"env":%d,"sql":%q}`, env.ID, testSQL(i)))
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			var out EstimateResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = out.Ms
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		want, err := est.EstimateSQL(envs[i%len(envs)], testSQL(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i] != want {
+			t.Fatalf("request %d: served %v != library %v", i, results[i], want)
+		}
+	}
+}
+
+// TestBatchEndpointParity: /estimate_batch equals EstimateSQLBatch, and
+// the response body equals the JSON qcfe-bench -load -estimate prints —
+// the byte-level parity the CI smoke test diffs.
+func TestBatchEndpointParity(t *testing.T) {
+	est := testEstimator(t)
+	_, ts := startServer(t, Options{})
+	env := est.Environments()[0]
+	sqls := []string{testSQL(0), testSQL(1), testSQL(2)}
+
+	req, _ := json.Marshal(BatchRequest{Env: env.ID, SQLs: sqls})
+	resp, body := postJSON(t, ts.URL+"/estimate_batch", string(req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	want, err := est.EstimateSQLBatch(env, sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ms) != len(want) {
+		t.Fatalf("got %d results, want %d", len(out.Ms), len(want))
+	}
+	for i := range want {
+		if out.Ms[i] != want[i] {
+			t.Fatalf("sql %d: served %v != library %v", i, out.Ms[i], want[i])
+		}
+	}
+	var lib bytes.Buffer
+	json.NewEncoder(&lib).Encode(BatchResponse{Ms: want})
+	if !bytes.Equal(bytes.TrimSpace(body), bytes.TrimSpace(lib.Bytes())) {
+		t.Fatalf("response body %q != library JSON %q", body, lib.Bytes())
+	}
+}
+
+// TestCoalescing proves concurrent singles actually share micro-batches:
+// requests enqueued before the batcher starts must drain in fewer
+// flushes than requests.
+func TestCoalescing(t *testing.T) {
+	est := testEstimator(t)
+	srv := New(est, Options{MaxBatch: 64, BatchWindow: time.Millisecond})
+	env := est.Environments()[0]
+
+	const n = 24
+	type res struct {
+		ms  float64
+		err error
+	}
+	results := make(chan res, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ms, err := srv.Estimate(context.Background(), env.ID, testSQL(i))
+			results <- res{ms, err}
+		}(i)
+	}
+	// Wait until every request is parked in the queue, then start the
+	// batcher: the first flush must drain them all in one micro-batch.
+	for len(srv.queue) < n {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Run(ctx)
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+	}
+	st := srv.Stats()
+	if st.Requests != n {
+		t.Fatalf("requests = %d", st.Requests)
+	}
+	if st.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1 (all %d requests pre-queued)", st.Flushes, n)
+	}
+	if st.MeanBatch != n {
+		t.Fatalf("mean batch = %v, want %d", st.MeanBatch, n)
+	}
+}
+
+// TestErrorIsolation: one malformed query in a coalesced micro-batch
+// fails only its own request; companions still get exact predictions.
+func TestErrorIsolation(t *testing.T) {
+	est := testEstimator(t)
+	srv := New(est, Options{MaxBatch: 8, BatchWindow: time.Millisecond})
+	env := est.Environments()[0]
+
+	sqls := []string{testSQL(0), "THIS IS NOT SQL", testSQL(2)}
+	type res struct {
+		ms  float64
+		err error
+	}
+	results := make([]res, len(sqls))
+	var wg sync.WaitGroup
+	for i, sql := range sqls {
+		wg.Add(1)
+		go func(i int, sql string) {
+			defer wg.Done()
+			ms, err := srv.Estimate(context.Background(), env.ID, sql)
+			results[i] = res{ms, err}
+		}(i, sql)
+	}
+	for len(srv.queue) < len(sqls) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Run(ctx)
+	wg.Wait()
+
+	if results[1].err == nil {
+		t.Fatalf("malformed query should error")
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].err != nil {
+			t.Fatalf("query %d: %v", i, results[i].err)
+		}
+		want, err := est.EstimateSQL(env, sqls[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].ms != want {
+			t.Fatalf("query %d: served %v != library %v", i, results[i].ms, want)
+		}
+	}
+}
+
+// TestUnknownEnvironment: an env ID outside the artifact's set is a
+// client error, not a panic or a silent default.
+func TestUnknownEnvironment(t *testing.T) {
+	_, ts := startServer(t, Options{})
+	resp, body := postJSON(t, ts.URL+"/estimate", `{"env":9999,"sql":"SELECT * FROM sbtest1"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown environment") {
+		t.Fatalf("body = %s", body)
+	}
+}
+
+// TestHealthzAndStats sanity-checks the observability endpoints.
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := startServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status    string `json:"status"`
+		Model     string `json:"model"`
+		Benchmark string `json:"benchmark"`
+		Envs      int    `json:"envs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Model != "mscn" || health.Benchmark != "sysbench" || health.Envs != 2 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	postJSON(t, ts.URL+"/estimate", fmt.Sprintf(`{"env":0,"sql":%q}`, testSQL(0)))
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Requests < 1 || stats.Flushes < 1 || stats.MaxBatch == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestShutdownFailsPending: requests still queued when the serving
+// context is cancelled fail with a shutdown error instead of hanging.
+func TestShutdownFailsPending(t *testing.T) {
+	est := testEstimator(t)
+	srv := New(est, Options{})
+	env := est.Environments()[0]
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := srv.Estimate(context.Background(), env.ID, testSQL(0))
+		errc <- err
+	}()
+	for len(srv.queue) < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "shutting down") {
+			t.Fatalf("pending request err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("pending request hung across shutdown")
+	}
+}

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/datagen"
@@ -41,11 +42,22 @@ type BuildResult struct {
 // fan-in runs in index order, so the fitted snapshot and its collection
 // cost are identical at any worker count.
 func (b *Builder) FromQueries(sqls []string) (*BuildResult, error) {
+	return b.FromQueriesCtx(context.Background(), sqls)
+}
+
+// FromQueriesCtx is FromQueries with cooperative cancellation: the
+// labeling fan-out stops claiming queries once ctx is cancelled and the
+// build returns ctx's error instead of a snapshot fitted on a partial
+// sample.
+func (b *Builder) FromQueriesCtx(ctx context.Context, sqls []string) (*BuildResult, error) {
 	tasks := make([]engine.PoolTask, len(sqls))
 	for i, sql := range sqls {
 		tasks[i] = engine.PoolTask{Env: b.Env, Seq: int64(i + 1), SQL: sql}
 	}
-	results := engine.ExecutePool(b.DS.Schema, b.DS.Stats, b.DS.DB, tasks, 0)
+	results, err := engine.ExecutePoolCtx(ctx, b.DS.Schema, b.DS.Stats, b.DS.DB, tasks, 0)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: labeling cancelled: %w", err)
+	}
 	var samples []OpSample
 	var totalMs float64
 	var ran int
@@ -71,10 +83,16 @@ func (b *Builder) FromQueries(sqls []string) (*BuildResult, error) {
 // templates from the original workload templates via Algorithm 1, execute
 // them, and fit.
 func (b *Builder) FromTemplates(originals []*sqlparse.Query, scale int, seed int64) (*BuildResult, error) {
+	return b.FromTemplatesCtx(context.Background(), originals, scale, seed)
+}
+
+// FromTemplatesCtx is FromTemplates with cooperative cancellation (see
+// FromQueriesCtx).
+func (b *Builder) FromTemplatesCtx(ctx context.Context, originals []*sqlparse.Query, scale int, seed int64) (*BuildResult, error) {
 	gen := NewTemplateGen(b.DS.Schema, b.DS.Stats)
 	sqls := gen.Generate(originals, scale, seed)
 	if len(sqls) == 0 {
 		return nil, fmt.Errorf("snapshot: template generation produced no queries")
 	}
-	return b.FromQueries(sqls)
+	return b.FromQueriesCtx(ctx, sqls)
 }

@@ -1,0 +1,55 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/artifact"
+	"repro/internal/planner"
+)
+
+// Encode appends the fitted snapshot to the artifact payload. Coefficients
+// are written densely in AllOpTypes order, so the layout is stable across
+// runs and independent of map iteration order.
+func (s *Snapshot) Encode(e *artifact.Encoder) {
+	e.U32(uint32(planner.NumOpTypes))
+	e.U32(CoeffDim)
+	for _, op := range planner.AllOpTypes() {
+		coef := s.Coeffs[op]
+		if coef == nil {
+			coef = make([]float64, CoeffDim)
+		}
+		e.F64s(coef)
+		e.Int(s.Samples[op])
+	}
+}
+
+// Decode reads a snapshot written by Encode. It rejects artifacts whose
+// operator set or coefficient width disagrees with this build — the
+// snapshot block's feature layout would silently shift otherwise.
+func Decode(d *artifact.Decoder) (*Snapshot, error) {
+	nOps, cDim := int(d.U32()), int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if nOps != int(planner.NumOpTypes) || cDim != CoeffDim {
+		return nil, fmt.Errorf("snapshot: artifact has %d operators × %d coefficients, this build uses %d × %d",
+			nOps, cDim, int(planner.NumOpTypes), CoeffDim)
+	}
+	s := &Snapshot{
+		Coeffs:  make(map[planner.OpType][]float64, nOps),
+		Samples: make(map[planner.OpType]int, nOps),
+	}
+	for _, op := range planner.AllOpTypes() {
+		coef := d.F64s()
+		n := d.Int()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(coef) != CoeffDim {
+			return nil, fmt.Errorf("snapshot: artifact coefficients for %v have width %d, want %d", op, len(coef), CoeffDim)
+		}
+		s.Coeffs[op] = coef
+		s.Samples[op] = n
+	}
+	return s, nil
+}

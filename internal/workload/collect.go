@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -34,7 +35,15 @@ type Labeled struct {
 // failure rate above 10% is reported as an error since it would bias the
 // workload.
 func Collect(ds *datagen.Dataset, envs []*dbenv.Environment, perEnv int, seed int64) (*Labeled, error) {
-	return CollectWorkers(ds, envs, perEnv, seed, 0)
+	return CollectWorkersCtx(context.Background(), ds, envs, perEnv, seed, 0)
+}
+
+// CollectCtx is Collect with cooperative cancellation: the labeling
+// fan-out stops claiming (environment, query) tasks once ctx is
+// cancelled and CollectCtx returns ctx's error instead of a partial
+// pool.
+func CollectCtx(ctx context.Context, ds *datagen.Dataset, envs []*dbenv.Environment, perEnv int, seed int64) (*Labeled, error) {
+	return CollectWorkersCtx(ctx, ds, envs, perEnv, seed, 0)
 }
 
 // CollectWorkers is Collect with an explicit worker count (<= 0 selects
@@ -43,6 +52,11 @@ func Collect(ds *datagen.Dataset, envs []*dbenv.Environment, perEnv int, seed in
 // (env, query-index) pair carries its own noise sequence, and samples are
 // assembled in generation order before the seed-keyed shuffle.
 func CollectWorkers(ds *datagen.Dataset, envs []*dbenv.Environment, perEnv int, seed int64, workers int) (*Labeled, error) {
+	return CollectWorkersCtx(context.Background(), ds, envs, perEnv, seed, workers)
+}
+
+// CollectWorkersCtx is CollectWorkers with cooperative cancellation.
+func CollectWorkersCtx(ctx context.Context, ds *datagen.Dataset, envs []*dbenv.Environment, perEnv int, seed int64, workers int) (*Labeled, error) {
 	templates := TemplatesFor(ds.Name)
 	if templates == nil {
 		return nil, fmt.Errorf("workload: unknown benchmark %q", ds.Name)
@@ -59,7 +73,10 @@ func CollectWorkers(ds *datagen.Dataset, envs []*dbenv.Environment, perEnv int, 
 			tasks = append(tasks, engine.PoolTask{Env: env, Seq: int64(qi + 1), SQL: sql})
 		}
 	}
-	results := engine.ExecutePool(ds.Schema, ds.Stats, ds.DB, tasks, workers)
+	results, err := engine.ExecutePoolCtx(ctx, ds.Schema, ds.Stats, ds.DB, tasks, workers)
+	if err != nil {
+		return nil, fmt.Errorf("workload: collection cancelled: %w", err)
+	}
 
 	// Deterministic fan-in: samples in generation order, failures counted.
 	var failed int

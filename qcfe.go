@@ -20,6 +20,10 @@
 package qcfe
 
 import (
+	"context"
+	"fmt"
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dbenv"
@@ -57,7 +61,8 @@ func RandomEnvironments(n int, seed int64) []*Environment {
 // Benchmark is one loaded benchmark dataset (schema, data, statistics)
 // plus its workload templates.
 type Benchmark struct {
-	ds *datagen.Dataset
+	ds   *datagen.Dataset
+	seed int64
 }
 
 // OpenBenchmark builds a benchmark dataset by name: "tpch", "imdb"
@@ -67,11 +72,15 @@ func OpenBenchmark(name string, seed int64) (*Benchmark, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Benchmark{ds: ds}, nil
+	return &Benchmark{ds: ds, seed: seed}, nil
 }
 
 // Name returns the benchmark name.
 func (b *Benchmark) Name() string { return b.ds.Name }
+
+// Seed returns the deterministic generation seed the benchmark was opened
+// with; artifacts record it so a loader can rebuild the identical dataset.
+func (b *Benchmark) Seed() int64 { return b.seed }
 
 // Dataset exposes the underlying dataset for advanced use.
 func (b *Benchmark) Dataset() *datagen.Dataset { return b.ds }
@@ -131,7 +140,15 @@ type Workload struct {
 // CollectWorkload runs perEnv benchmark queries in every environment and
 // labels them with simulated latency.
 func (b *Benchmark) CollectWorkload(envs []*Environment, perEnv int, seed int64) (*Workload, error) {
-	lab, err := workload.Collect(b.ds, envs, perEnv, seed)
+	return b.CollectWorkloadCtx(context.Background(), envs, perEnv, seed)
+}
+
+// CollectWorkloadCtx is CollectWorkload with cooperative cancellation:
+// the labeling fan-out stops claiming (environment, query) tasks once ctx
+// is cancelled and the call returns ctx's error instead of a partial
+// pool.
+func (b *Benchmark) CollectWorkloadCtx(ctx context.Context, envs []*Environment, perEnv int, seed int64) (*Workload, error) {
+	lab, err := workload.CollectCtx(ctx, b.ds, envs, perEnv, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -184,8 +201,9 @@ func WithSeed(seed int64) Option { return func(c *core.Config) { c.Seed = seed }
 // WithReferences sets the number of difference-propagation references |R|.
 func WithReferences(n int) Option { return func(c *core.Config) { c.NumReferences = n } }
 
-// NewPipeline builds a pipeline for the given estimator ("qppnet" or
-// "mscn") with QCFE's default configuration (FST snapshot, FR reduction).
+// NewPipeline builds a pipeline for the given estimator — "qppnet",
+// "mscn", or "analytic" (the training-free PGSQL baseline) — with QCFE's
+// default configuration (FST snapshot, FR reduction).
 func NewPipeline(model string, opts ...Option) *Pipeline {
 	cfg := core.DefaultConfig(model)
 	for _, o := range opts {
@@ -202,9 +220,19 @@ type CostEstimator struct {
 	cfg   core.Config
 }
 
-// Fit trains the pipeline on labeled samples collected over envs.
+// Fit trains the pipeline on labeled samples collected over envs. An
+// empty or nil train slice is an error — a model fitted on zero samples
+// would silently predict from its initialization.
 func (p *Pipeline) Fit(b *Benchmark, envs []*Environment, train []workload.Sample) (*CostEstimator, error) {
-	res, err := core.Run(b.ds, envs, train, p.cfg)
+	return p.FitCtx(context.Background(), b, envs, train)
+}
+
+// FitCtx is Fit with cooperative cancellation: ctx is checked inside the
+// snapshot-labeling worker pool and between training minibatches, so
+// cancelling stops the run promptly. A cancelled fit returns ctx's error
+// and no estimator — partially trained state never escapes.
+func (p *Pipeline) FitCtx(ctx context.Context, b *Benchmark, envs []*Environment, train []workload.Sample) (*CostEstimator, error) {
+	res, err := core.RunCtx(ctx, b.ds, envs, train, p.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +266,15 @@ func (e *CostEstimator) EstimateSQL(env *Environment, sql string) (float64, erro
 // order and bit-identical to calling EstimateSQL per query; the first
 // query that fails to parse or plan fails the whole batch.
 func (e *CostEstimator) EstimateSQLBatch(env *Environment, sqls []string) ([]float64, error) {
-	nodes, err := parallel.Map(len(sqls), 0, func(i int) (*planner.Node, error) {
+	return e.EstimateSQLBatchCtx(context.Background(), env, sqls)
+}
+
+// EstimateSQLBatchCtx is EstimateSQLBatch with cooperative cancellation:
+// the planning fan-out stops claiming queries once ctx is cancelled and
+// the call returns ctx's error. It is the serving path — qcfe-serve
+// routes coalesced request batches through it with the request context.
+func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environment, sqls []string) ([]float64, error) {
+	nodes, err := parallel.MapCtx(ctx, len(sqls), 0, func(i int) (*planner.Node, error) {
 		return planAnnotated(e.bench.ds, env, sqls[i])
 	})
 	if err != nil {
@@ -254,6 +290,59 @@ func (e *CostEstimator) Evaluate(test []workload.Sample) Summary {
 
 // TrainSeconds returns the wall-clock training time.
 func (e *CostEstimator) TrainSeconds() float64 { return e.res.TrainTime.Seconds() }
+
+// ModelName returns the downstream model identifier ("mscn", "qppnet",
+// or "analytic").
+func (e *CostEstimator) ModelName() string { return e.res.Model.Name() }
+
+// BenchmarkName returns the name of the benchmark the estimator was
+// trained on.
+func (e *CostEstimator) BenchmarkName() string { return e.bench.Name() }
+
+// Benchmark returns the benchmark the estimator prices queries against
+// (for a loaded estimator, rebuilt deterministically from the artifact's
+// recorded name and seed).
+func (e *CostEstimator) Benchmark() *Benchmark { return e.bench }
+
+// Environments returns the environment set the estimator was trained
+// across — the environments it can price queries under. Callers must
+// treat the slice and its elements as read-only.
+func (e *CostEstimator) Environments() []*Environment { return e.envs }
+
+// Save writes the estimator as one versioned binary artifact: magic
+// header, format version, benchmark/seed fingerprint, pipeline config,
+// environment set, featurizer state (per-environment feature snapshots
+// and the reduction mask), and the model weights for every estimator
+// type, with a checksum trailer. LoadEstimator on the written bytes
+// reproduces EstimateBatch bit for bit — the train-once/serve-many flow
+// behind cmd/qcfe-serve.
+//
+// Optimizer and sampler state are not persisted: a loaded estimator
+// serves inference exactly, and further training starts from a fresh
+// optimizer (like a newly constructed model), not a byte-level
+// continuation of the original run.
+func (e *CostEstimator) Save(w io.Writer) error {
+	return core.SaveArtifact(w, e.bench.Name(), e.bench.Seed(), e.envs, e.cfg, e.res)
+}
+
+// LoadEstimator reads an artifact written by Save. It validates the
+// magic, version, and checksum, rebuilds the benchmark dataset from the
+// recorded (name, seed) — generation is deterministic — and verifies the
+// recorded fingerprint against this build's feature layout, so stale
+// artifacts (written against a different dataset generator or feature
+// encoding) fail loudly instead of predicting garbage.
+func LoadEstimator(r io.Reader) (*CostEstimator, error) {
+	a, err := core.LoadArtifact(r)
+	if err != nil {
+		return nil, fmt.Errorf("qcfe: load estimator: %w", err)
+	}
+	return &CostEstimator{
+		res:   a.Res,
+		bench: &Benchmark{ds: a.DS, seed: a.BenchSeed},
+		envs:  a.Envs,
+		cfg:   a.Cfg,
+	}, nil
+}
 
 // ReductionRatio returns the fraction of features pruned (0 when
 // reduction was disabled).
