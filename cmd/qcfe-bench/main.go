@@ -16,15 +16,18 @@
 //
 // With -micro the command instead runs the estimator-stack
 // microbenchmarks (train iters/sec, predictions/sec, batched vs scalar,
-// serve-throughput) on the quick grid and writes the machine-readable
-// BENCH_PR3.json rows. This is the CI benchmark-regression pipeline:
+// serve-throughput, query-cache hit/miss) on the quick grid and writes
+// the machine-readable BENCH_PR4.json rows. This is the CI
+// benchmark-regression pipeline:
 //
-//	qcfe-bench -micro -out BENCH_PR3.json -baseline BENCH_PR3.json
+//	qcfe-bench -micro -out BENCH_PR4.json -baseline BENCH_PR4.json
 //
 // exits non-zero when a gated predictions/sec row regresses more than
-// -tolerance against the (machine-normalized) baseline, or when the
-// batched training iteration fails the -min-train-speedup floor against
-// the retained scalar reference path.
+// -tolerance against the (machine-normalized) baseline, when the batched
+// training iteration fails the -min-train-speedup floor against the
+// retained scalar reference path, or when a warm cache-served estimate
+// (serve/estimate-warm) fails the -min-warm-speedup floor against the
+// uncached serve/estimate-coalesced row from the same run.
 //
 // With -save the command instead trains one pipeline and writes the
 // estimator as a persistent artifact; with -load it reads an artifact
@@ -56,11 +59,12 @@ func main() {
 	benchmark := flag.String("benchmark", "", "benchmark: tpch|sysbench|imdb (default: all applicable; -save/-load default: sysbench)")
 	size := flag.String("size", "med", "grid size: quick|med|full")
 	workers := flag.Int("workers", 0, "per-fan-out worker cap for parallel labeling and experiments; nested stages each use up to this many goroutines (0 = GOMAXPROCS)")
-	micro := flag.Bool("micro", false, "run the estimator microbenchmarks and emit BENCH_PR3.json rows instead of the experiment suite")
-	out := flag.String("out", "BENCH_PR3.json", "with -micro: output path for the benchmark rows")
-	baseline := flag.String("baseline", "", "with -micro: baseline BENCH_PR3.json to gate against (empty = no gate)")
+	micro := flag.Bool("micro", false, "run the estimator microbenchmarks and emit BENCH_PR4.json rows instead of the experiment suite")
+	out := flag.String("out", "BENCH_PR4.json", "with -micro: output path for the benchmark rows")
+	baseline := flag.String("baseline", "", "with -micro: baseline BENCH_PR4.json to gate against (empty = no gate)")
 	tolerance := flag.Float64("tolerance", 0.20, "with -micro -baseline: maximum allowed predictions/sec regression")
 	minSpeedup := flag.Float64("min-train-speedup", 1.7, "with -micro: minimum batched/scalar training-iteration speedup on the mscn pair (0 disables; ~2.1-2.3x measured, floor set below for run-to-run noise)")
+	minWarmSpeedup := flag.Float64("min-warm-speedup", 5.0, "with -micro: minimum warm cache-hit serving speedup over uncached coalesced serving, same-run rows so machine speed cancels (0 disables; orders of magnitude measured)")
 	savePath := flag.String("save", "", "train one pipeline and write the estimator artifact to this path")
 	loadPath := flag.String("load", "", "load an estimator artifact and evaluate it (or price -estimate queries)")
 	model := flag.String("model", "mscn", "with -save: estimator to train (mscn|qppnet|analytic)")
@@ -93,7 +97,7 @@ func main() {
 	}
 
 	if *micro {
-		if err := runMicro(*out, *baseline, *tolerance, *minSpeedup); err != nil {
+		if err := runMicro(*out, *baseline, *tolerance, *minSpeedup, *minWarmSpeedup); err != nil {
 			fmt.Fprintf(os.Stderr, "qcfe-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -231,10 +235,11 @@ func runLoad(path string, envID int, estimate string, perEnv int, seed int64) er
 }
 
 // runMicro runs the microbenchmarks, writes the JSON rows, and applies
-// the CI gates: the training-iteration speedup floor (batched vs the
-// scalar reference, same machine, so machine speed cancels exactly) and,
-// when a baseline is given, the predictions/sec regression tolerance.
-func runMicro(out, baseline string, tolerance, minSpeedup float64) error {
+// the CI gates: the training-iteration speedup floor and the warm
+// cache-hit serving speedup floor (each comparing two rows of the same
+// run, so machine speed cancels exactly) and, when a baseline is given,
+// the predictions/sec regression tolerance.
+func runMicro(out, baseline string, tolerance, minSpeedup, minWarmSpeedup float64) error {
 	rows, err := bench.Run()
 	if err != nil {
 		return err
@@ -257,6 +262,14 @@ func runMicro(out, baseline string, tolerance, minSpeedup float64) error {
 	fmt.Printf("\ntrain-iteration speedup (batched vs scalar): mscn %.2fx, qppnet %.2fx\n", speedup, qppSpeedup)
 	if minSpeedup > 0 && speedup < minSpeedup {
 		return fmt.Errorf("training-iteration speedup %.2fx below required %.2fx", speedup, minSpeedup)
+	}
+	warm, err := bench.WarmServeSpeedup(rows)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("warm-hit serving speedup (cache hit vs coalesced): %.1fx\n", warm)
+	if minWarmSpeedup > 0 && warm < minWarmSpeedup {
+		return fmt.Errorf("warm-hit serving speedup %.1fx below required %.1fx", warm, minWarmSpeedup)
 	}
 	if baseline != "" {
 		base, err := bench.ReadJSON(baseline)

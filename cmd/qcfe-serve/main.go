@@ -15,9 +15,15 @@
 //	GET  /healthz                                       → model identity
 //	GET  /stats                                         → serving counters
 //
+// A sharded query-fingerprint cache (on by default; -cache=false
+// disables, -cache-shards/-cache-capacity size it) short-circuits warm
+// repeats before the coalescing queue and reuses plan skeletons and
+// featurizations across literal variants; /stats reports per-tier
+// hit/miss/size counters.
+//
 // Predictions are bit-identical to the library's EstimateSQL on the same
-// artifact. SIGINT/SIGTERM trigger a graceful shutdown: in-flight
-// requests finish, queued requests fail with a shutdown error.
+// artifact, cached or not. SIGINT/SIGTERM trigger a graceful shutdown:
+// in-flight requests finish, queued requests fail with a shutdown error.
 package main
 
 import (
@@ -43,6 +49,9 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "largest coalesced micro-batch")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "longest a request waits for batch companions")
 	workers := flag.Int("workers", 0, "worker-pool size for the per-batch planning fan-out (0 = GOMAXPROCS)")
+	cache := flag.Bool("cache", true, "enable the sharded query-fingerprint cache (template/feature/prediction tiers); hits are bit-identical to cold estimates")
+	cacheShards := flag.Int("cache-shards", 0, "cache shard count per tier, rounded to a power of two (0 = scaled to GOMAXPROCS)")
+	cacheCapacity := flag.Int("cache-capacity", 0, "cache entry budget per tier (0 = 4096)")
 	flag.Parse()
 
 	if *artifactPath == "" {
@@ -52,13 +61,17 @@ func main() {
 	}
 	parallel.SetDefaultWorkers(*workers)
 
-	if err := run(*artifactPath, *addr, serve.Options{MaxBatch: *maxBatch, BatchWindow: *batchWindow}); err != nil {
+	var copts *qcfe.CacheOptions
+	if *cache {
+		copts = &qcfe.CacheOptions{Shards: *cacheShards, Capacity: *cacheCapacity}
+	}
+	if err := run(*artifactPath, *addr, serve.Options{MaxBatch: *maxBatch, BatchWindow: *batchWindow}, copts); err != nil {
 		fmt.Fprintf(os.Stderr, "qcfe-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(artifactPath, addr string, opts serve.Options) error {
+func run(artifactPath, addr string, opts serve.Options, copts *qcfe.CacheOptions) error {
 	f, err := os.Open(artifactPath)
 	if err != nil {
 		return err
@@ -70,6 +83,13 @@ func run(artifactPath, addr string, opts serve.Options) error {
 	}
 	fmt.Printf("qcfe-serve: loaded %s estimator for %s (%d environments, trained %.1fs)\n",
 		est.ModelName(), est.BenchmarkName(), len(est.Environments()), est.TrainSeconds())
+	if copts != nil {
+		c := qcfe.NewQueryCache(*copts)
+		est.AttachCache(c)
+		st := c.Stats()
+		fmt.Printf("qcfe-serve: query cache on (%d shards, %d entries/tier, generation %x); /stats reports per-tier hits\n",
+			st.Shards, st.Capacity, st.Generation)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -56,6 +56,11 @@ func main() {
 	fmt.Printf("loaded %s estimator for %s (%d environments)\n",
 		loaded.ModelName(), loaded.BenchmarkName(), len(loaded.Environments()))
 
+	// Attach the query-fingerprint cache (what qcfe-serve does by
+	// default): repeats short-circuit at the prediction tier, literal
+	// variants reuse cached plan skeletons — results stay bit-identical.
+	loaded.AttachCache(qcfe.NewQueryCache(qcfe.CacheOptions{}))
+
 	// 4. Serve it: concurrent single-query requests coalesce into
 	// micro-batches over the batched inference path.
 	srv := serve.New(loaded, serve.Options{MaxBatch: 32, BatchWindow: 2 * time.Millisecond})
@@ -102,6 +107,12 @@ func main() {
 		}
 		fmt.Printf("  %-55s served %.4f ms %s library %.4f ms\n", sql, served[i], match, direct)
 	}
+
+	// A warm repeat is served from the cache's prediction tier without
+	// touching the coalescing queue (see "cache_hits" in the stats).
+	warm, err := loaded.EstimateSQL(env, sqls[0])
+	check(err)
+	fmt.Printf("warm repeat: %.4f ms (prediction-tier hit)\n", warm)
 
 	resp, err := http.Get(ts.URL + "/stats")
 	check(err)

@@ -1,8 +1,8 @@
 // Package bench is the microbenchmark harness behind the CI
 // benchmark-regression gate: it measures the estimator stack's scalar and
-// batched hot paths (training iterations, predictions, coalesced
-// serving) on the quick grid and emits machine-readable rows — the
-// BENCH_PR3.json schema (unchanged from BENCH_PR2.json):
+// batched hot paths (training iterations, predictions, coalesced and
+// cache-warm serving) on the quick grid and emits machine-readable rows —
+// the BENCH_PR4.json schema (unchanged from BENCH_PR2.json):
 //
 //	[{"name": ..., "iters": ..., "ns_per_op": ..., "allocs_per_op": ...}, ...]
 //
@@ -72,10 +72,27 @@ const (
 
 	// ServeCoalesced measures end-to-end serving throughput: concurrent
 	// single-query requests through the qcfe-serve coalescing queue
-	// (SQL parse + plan fan-out + micro-batched inference per request).
-	// Reported but not gated: it folds in scheduler and queue timing,
-	// which is too noisy for a hard CI threshold.
+	// (SQL parse + plan fan-out + micro-batched inference per request),
+	// with no query cache. Not gated against the baseline directly (it
+	// folds in scheduler and queue timing), but it anchors the warm-hit
+	// speedup gate below.
 	ServeCoalesced = "serve/estimate-coalesced"
+
+	// QCacheHit measures a warm prediction-tier hit through the library
+	// EstimateSQL path: fingerprint-free exact-text memoization — the
+	// cost of one sharded map lookup.
+	QCacheHit = "qcache/hit"
+	// QCacheMiss measures the cache-enabled cold path on a fresh literal
+	// every op: template-tier hit (skip lex/parse/resolve), re-plan,
+	// featurize, single-plan inference, and the stores that warm all
+	// three tiers.
+	QCacheMiss = "qcache/miss"
+	// ServeWarm measures concurrent single-query requests when every
+	// query is warm in the prediction tier: the server short-circuit
+	// before the coalescing queue. The CI gate requires this to beat
+	// ServeCoalesced by at least the -min-warm-speedup factor (both rows
+	// come from the same run, so machine speed cancels exactly).
+	ServeWarm = "serve/estimate-warm"
 )
 
 // Gated lists the rows the CI gate checks for predictions/sec regressions:
@@ -200,23 +217,26 @@ func Run() ([]Row, error) {
 		}
 	}))
 
-	serveRow, err := benchServe(envs, lab.Samples)
+	serveRows, err := benchServe(envs, lab.Samples)
 	if err != nil {
 		return nil, fmt.Errorf("bench: serve: %w", err)
 	}
-	rows = append(rows, serveRow)
+	rows = append(rows, serveRows...)
 	return rows, nil
 }
 
-// benchServe measures the serving front end end to end: `conc`
-// concurrent clients issue single-query estimates against the coalescing
-// queue, which groups them into micro-batches over the batched inference
-// path — the qcfe-serve hot loop minus HTTP framing. ns_per_op is per
-// served request.
-func benchServe(envs []*dbenv.Environment, samples []workload.Sample) (Row, error) {
+// benchServe measures the serving front end end to end. The coalesced
+// row runs `conc` concurrent single-query estimates against the
+// coalescing queue with no cache — the qcfe-serve hot loop minus HTTP
+// framing. The qcache rows then attach a query cache to the same
+// estimator and measure the library hit/miss paths, and the warm row
+// re-runs the concurrent serving loop with every query warm in the
+// prediction tier (the short-circuit before the queue). ns_per_op is per
+// served request / estimate.
+func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, error) {
 	b, err := qcfe.OpenBenchmark("tpch", 1) // cached: same dataset the grid built
 	if err != nil {
-		return Row{}, err
+		return nil, err
 	}
 	// Train cheaply: serving throughput is inference-bound, so reduction
 	// is disabled and the iteration budget kept small.
@@ -224,7 +244,7 @@ func benchServe(envs []*dbenv.Environment, samples []workload.Sample) (Row, erro
 		qcfe.WithTrainIters(30), qcfe.WithReduction("none"), qcfe.WithSeed(1),
 	).Fit(b, envs, samples)
 	if err != nil {
-		return Row{}, err
+		return nil, err
 	}
 	srv := serve.New(est, serve.Options{MaxBatch: 64, BatchWindow: time.Millisecond})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -236,24 +256,75 @@ func benchServe(envs []*dbenv.Environment, samples []workload.Sample) (Row, erro
 	for i := range sqls {
 		sqls[i] = samples[i%len(samples)].SQL
 	}
-	row := run(ServeCoalesced, conc, func(tb *testing.B) {
+	concurrent := func(name string) Row {
+		return run(name, conc, func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < conc; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						env := envs[c%len(envs)]
+						if _, err := srv.Estimate(ctx, env.ID, sqls[c]); err != nil {
+							panic(fmt.Sprintf("bench: serve estimate: %v", err))
+						}
+					}(c)
+				}
+				wg.Wait()
+			}
+		})
+	}
+	rows := []Row{concurrent(ServeCoalesced)}
+
+	// Cache rows: same estimator, now with the query cache attached.
+	est.AttachCache(qcfe.NewQueryCache(qcfe.CacheOptions{}))
+	env := envs[0]
+	hot := sqls[0]
+	if _, err := est.EstimateSQL(env, hot); err != nil { // prime
+		return nil, err
+	}
+	rows = append(rows, run(QCacheHit, 1, func(tb *testing.B) {
 		tb.ReportAllocs()
 		for i := 0; i < tb.N; i++ {
-			var wg sync.WaitGroup
-			for c := 0; c < conc; c++ {
-				wg.Add(1)
-				go func(c int) {
-					defer wg.Done()
-					env := envs[c%len(envs)]
-					if _, err := srv.Estimate(ctx, env.ID, sqls[c]); err != nil {
-						panic(fmt.Sprintf("bench: serve estimate: %v", err))
-					}
-				}(c)
+			v, err := est.EstimateSQL(env, hot)
+			if err != nil {
+				panic(fmt.Sprintf("bench: qcache hit: %v", err))
 			}
-			wg.Wait()
+			sink = v
 		}
-	})
-	return row, nil
+	}))
+	ctr := 0
+	rows = append(rows, run(QCacheMiss, 1, func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			// A never-seen literal every op: misses the prediction and
+			// feature tiers, hits the template tier after the first op.
+			ctr++
+			v, err := est.EstimateSQL(env, fmt.Sprintf("SELECT COUNT(*) FROM lineitem WHERE l_quantity < %d", ctr))
+			if err != nil {
+				panic(fmt.Sprintf("bench: qcache miss: %v", err))
+			}
+			sink = v
+		}
+	}))
+	// Warm the whole serving query set, then re-measure the concurrent
+	// loop: every request short-circuits at the prediction tier.
+	for c := 0; c < conc; c++ {
+		if _, err := est.EstimateSQL(envs[c%len(envs)], sqls[c]); err != nil {
+			return nil, err
+		}
+	}
+	rows = append(rows, concurrent(ServeWarm))
+	return rows, nil
+}
+
+// WarmServeSpeedup returns how many times faster a warm served estimate
+// is than an uncached coalesced one — both rows from the same run, so
+// machine speed cancels exactly (the PR 2 normalization scheme's
+// within-run degenerate case).
+func WarmServeSpeedup(rows []Row) (float64, error) {
+	return Speedup(rows, ServeCoalesced, ServeWarm)
 }
 
 // benchCalib is the machine-speed proxy the regression gate normalizes

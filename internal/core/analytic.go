@@ -55,6 +55,19 @@ func (a *Analytic) PredictBatch(roots []*planner.Node) []float64 {
 	return out
 }
 
+// PredictFeaturizedBatch implements Estimator; the analytic model reads
+// the plan, not the cached feature rows, so it prices the roots directly.
+func (a *Analytic) PredictFeaturizedBatch(fps []*encoding.FeaturizedPlan) []float64 {
+	if len(fps) == 0 {
+		return nil
+	}
+	out := make([]float64, len(fps))
+	for i, fp := range fps {
+		out[i] = a.model.EstimateMs(fp.Root)
+	}
+	return out
+}
+
 // SetFeaturizer implements Estimator; the analytic model reads no
 // features, so swapping the featurizer is a no-op.
 func (a *Analytic) SetFeaturizer(*encoding.Featurizer) {}

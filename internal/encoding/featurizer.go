@@ -61,12 +61,23 @@ func (f *Featurizer) Node(n *planner.Node) []float64 {
 	return v
 }
 
+// NodeInto featurizes one node directly into dst (length Dim), masking
+// in place — the allocation-lean form of Node for matrix gathers.
+func (f *Featurizer) NodeInto(n *planner.Node, dst []float64) {
+	v := f.Raw(n)
+	if f.Mask != nil {
+		featred.ApplyInto(f.Mask, v, dst)
+		return
+	}
+	copy(dst, v)
+}
+
 // NodesMatrix featurizes a node list into one row-major matrix (row i =
 // Node(nodes[i])) — the gather step of the batched inference paths.
 func (f *Featurizer) NodesMatrix(nodes []*planner.Node) *linalg.Matrix {
 	m := linalg.NewMatrix(len(nodes), f.Dim())
 	for i, n := range nodes {
-		m.SetRow(i, f.Node(n))
+		f.NodeInto(n, m.RowView(i))
 	}
 	return m
 }
@@ -79,6 +90,48 @@ func (f *Featurizer) PlanMatrix(root *planner.Node) *linalg.Matrix {
 	rows := make([][]float64, 0, root.CountNodes())
 	root.Walk(func(n *planner.Node) { rows = append(rows, f.Node(n)) })
 	return linalg.FromRows(rows)
+}
+
+// FeaturizedPlan is one plan with its per-node feature vectors computed
+// once and kept — the value the query cache's feature tier stores. The
+// two orders index the same underlying vectors: Pre is Walk (pre-order),
+// the gather order of MSCN's set pooling; Post is children-first
+// post-order, the order QPPNet's skeleton builder consumes. Entries are
+// shared across concurrent readers and must be treated as immutable.
+type FeaturizedPlan struct {
+	Root *planner.Node
+	Pre  [][]float64
+	Post [][]float64
+}
+
+// NumNodes returns the plan size (the chunking unit of the batched
+// inference paths).
+func (fp *FeaturizedPlan) NumNodes() int { return len(fp.Pre) }
+
+// Featurize computes a plan's full featurization (masked, snapshot block
+// included) once, in both traversal orders. Each vector is the same
+// slice in Pre and Post — Featurize costs one Node() call per plan node,
+// exactly like one scalar prediction's featurization.
+func (f *Featurizer) Featurize(root *planner.Node) *FeaturizedPlan {
+	n := root.CountNodes()
+	fp := &FeaturizedPlan{Root: root, Pre: make([][]float64, 0, n), Post: make([][]float64, 0, n)}
+	// Pre-order positions, recorded while featurizing...
+	byNode := make(map[*planner.Node][]float64, n)
+	root.Walk(func(nd *planner.Node) {
+		v := f.Node(nd)
+		fp.Pre = append(fp.Pre, v)
+		byNode[nd] = v
+	})
+	// ...then re-read in post-order, sharing the vectors.
+	var rec func(nd *planner.Node)
+	rec = func(nd *planner.Node) {
+		for _, c := range nd.Children {
+			rec(c)
+		}
+		fp.Post = append(fp.Post, byNode[nd])
+	}
+	rec(root)
+	return fp
 }
 
 // Names labels the raw feature dimensions.

@@ -338,6 +338,19 @@ func Apply(mask []bool, x []float64) []float64 {
 	return out
 }
 
+// ApplyInto projects x down to the kept dimensions into dst, which must
+// have CountKept(mask) capacity behind it (dst is resliced from 0). The
+// allocation-free sibling of Apply for the featurize-into-matrix paths.
+func ApplyInto(mask []bool, x, dst []float64) []float64 {
+	dst = dst[:0]
+	for i, keep := range mask {
+		if keep {
+			dst = append(dst, x[i])
+		}
+	}
+	return dst
+}
+
 // ApplyAll projects a whole matrix.
 func ApplyAll(mask []bool, X [][]float64) [][]float64 {
 	out := make([][]float64, len(X))

@@ -1,6 +1,35 @@
 package mscn
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/encoding"
+)
+
+// TestPredictFeaturizedBatchBitIdentical asserts the feature-tier
+// inference path (cached per-node vectors, the query cache's hit path)
+// equals both the batched and the per-sample paths bit for bit, across
+// chunk boundaries.
+func TestPredictFeaturizedBatchBitIdentical(t *testing.T) {
+	f := testFeaturizer()
+	m := New(f, 1)
+	plans, ms := synthPlans(900, 2) // several inference chunks
+	m.Train(plans[:80], ms[:80], 40)
+	fps := make([]*encoding.FeaturizedPlan, len(plans))
+	for i, p := range plans {
+		fps[i] = f.Featurize(p)
+	}
+	got := m.PredictFeaturizedBatch(fps)
+	want := m.PredictBatch(plans)
+	for i := range plans {
+		if got[i] != want[i] {
+			t.Fatalf("plan %d: PredictFeaturizedBatch %v != PredictBatch %v", i, got[i], want[i])
+		}
+	}
+	if out := m.PredictFeaturizedBatch(nil); out != nil {
+		t.Fatalf("empty batch should return nil")
+	}
+}
 
 // TestPredictBatchBitIdentical asserts the batched inference path equals
 // the per-sample path bit for bit, including after training.

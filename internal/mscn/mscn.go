@@ -146,15 +146,57 @@ func (m *Model) PredictBatch(roots []*planner.Node) []float64 {
 			counts = append(counts, len(nodes)-before)
 			end++
 		}
-		emb := m.SetNet.PredictBatch(ar, m.F.NodesMatrix(nodes))
-		pooled := poolByPlan(ar, emb, counts)
-		out := m.OutNet.PredictBatch(ar, pooled)
-		for s := start; s < end; s++ {
-			res[s] = metrics.UnlogMs(out.At(s-start, 0))
-		}
+		m.predictChunk(ar, m.F.NodesMatrix(nodes), counts, res[start:end])
 		start = end
 	}
 	return res
+}
+
+// PredictFeaturizedBatch is PredictBatch over pre-featurized plans (the
+// query cache's feature tier): node features come from the cached
+// pre-order rows instead of the featurizer, and everything downstream —
+// chunk boundaries, set-network batching, pooling order — is identical,
+// so output i is bit-identical to PredictMs(fps[i].Root).
+func (m *Model) PredictFeaturizedBatch(fps []*encoding.FeaturizedPlan) []float64 {
+	if len(fps) == 0 {
+		return nil
+	}
+	res := make([]float64, len(fps))
+	ar := &linalg.Arena{}
+	var counts []int
+	for start := 0; start < len(fps); {
+		ar.Reset()
+		counts = counts[:0]
+		end, total := start, 0
+		for end < len(fps) && (end == start || total+fps[end].NumNodes() <= predictChunkNodes) {
+			counts = append(counts, fps[end].NumNodes())
+			total += fps[end].NumNodes()
+			end++
+		}
+		x := linalg.NewMatrix(total, m.F.Dim())
+		row := 0
+		for s := start; s < end; s++ {
+			for _, v := range fps[s].Pre {
+				copy(x.RowView(row), v)
+				row++
+			}
+		}
+		m.predictChunk(ar, x, counts, res[start:end])
+		start = end
+	}
+	return res
+}
+
+// predictChunk prices one gathered chunk: x holds the chunk's node rows
+// (plans consecutive, nodes in pre-order), counts the per-plan node
+// counts; out receives one prediction per plan.
+func (m *Model) predictChunk(ar *linalg.Arena, x *linalg.Matrix, counts []int, out []float64) {
+	emb := m.SetNet.PredictBatch(ar, x)
+	pooled := poolByPlan(ar, emb, counts)
+	y := m.OutNet.PredictBatch(ar, pooled)
+	for i := range counts {
+		out[i] = metrics.UnlogMs(y.At(i, 0))
+	}
 }
 
 // poolByPlan average-pools consecutive embedding rows per plan, summing in

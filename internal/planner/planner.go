@@ -37,6 +37,18 @@ func (pl *Planner) Plan(q *sqlparse.Query) (*Node, error) {
 	if err := q.Resolve(pl.Schema); err != nil {
 		return nil, err
 	}
+	return pl.PlanResolved(q)
+}
+
+// PlanResolved plans an already-resolved query, skipping name resolution —
+// the template-cache hit path: the query cache stores one resolved
+// skeleton per fingerprint, and each hit binds fresh literals into a
+// clone and re-plans it here. Everything literal-dependent — literal
+// coercion, selectivity estimation, and the operator choices that hang
+// off it (index-vs-seq scan, join algorithm and order) — reruns from
+// scratch, which is what keeps a cache-hit plan bit-identical to planning
+// the same SQL cold.
+func (pl *Planner) PlanResolved(q *sqlparse.Query) (*Node, error) {
 	pl.coerceLiterals(q)
 	// Group predicates by table.
 	tablePreds := make(map[string][]sqlparse.Predicate)

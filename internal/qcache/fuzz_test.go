@@ -1,0 +1,137 @@
+package qcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+// TestConcurrentGenerationFuzz hammers one cache from many goroutines
+// with mixed hit/miss/store traffic while the generation is repeatedly
+// swapped (the Save→Load / retrain scenario), asserting the cache's core
+// safety property: a lookup made at generation g only ever returns a
+// value that was computed at generation g. Values encode the generation
+// they were "computed" under, so any cross-generation leak is caught
+// exactly. Run under -race in CI, this also proves the sharded locking
+// is sound.
+func TestConcurrentGenerationFuzz(t *testing.T) {
+	c := New(Options{Shards: 8, Capacity: 256})
+	const (
+		workers  = 16
+		opsEach  = 4000
+		keySpace = 512 // > capacity, so eviction churns constantly
+		swaps    = 50
+	)
+	var gen atomic.Uint64
+	gen.Store(1)
+	c.SetGeneration(1)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Swapper: bumps the logical generation, then the cache's, in that
+	// order — mirroring how an estimator computes its stamp before
+	// AttachCache publishes it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			g := gen.Add(1)
+			c.SetGeneration(g)
+		}
+		close(stop)
+	}()
+
+	var leaks atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for op := 0; op < opsEach; op++ {
+				// Capture the request's generation once, like a real
+				// estimate call does.
+				g := c.Generation()
+				key := PredictionKey(rng.Intn(4), fmt.Sprintf("q%d", rng.Intn(keySpace)))
+				if v, ok := c.GetPrediction(key, g); ok {
+					if uint64(v) != g {
+						leaks.Add(1)
+					}
+				} else {
+					// "Compute" the value under g and store it stamped g.
+					c.PutPrediction(key, g, float64(g))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-stop
+	if n := leaks.Load(); n > 0 {
+		t.Fatalf("%d lookups returned a value from a different generation", n)
+	}
+	// After the last swap, reads at the final generation must never see
+	// any of the earlier generations' values.
+	final := c.Generation()
+	for i := 0; i < keySpace; i++ {
+		for env := 0; env < 4; env++ {
+			if v, ok := c.GetPrediction(PredictionKey(env, fmt.Sprintf("q%d", i)), final); ok && uint64(v) != final {
+				t.Fatalf("stale generation %v served after swap to %d", v, final)
+			}
+		}
+	}
+}
+
+// TestConcurrentTierMix drives all three tiers from many goroutines over
+// a shared key population — the shape of 48-way serving traffic — and
+// checks the counters add up (every lookup is exactly one hit or one
+// miss).
+func TestConcurrentTierMix(t *testing.T) {
+	c := New(Options{Shards: 4, Capacity: 128})
+	g := c.Generation()
+	const workers = 12
+	const opsEach = 2000
+	skel := sqlparse.MustParse("SELECT * FROM t WHERE a = 1")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 7))
+			for op := 0; op < opsEach; op++ {
+				fp := fmt.Sprintf("select * from t where a = ? /*%d*/", rng.Intn(64))
+				switch rng.Intn(3) {
+				case 0:
+					k := TemplateKey(rng.Intn(2), fp)
+					if _, ok := c.GetTemplate(k, g); !ok {
+						c.PutTemplate(k, g, skel)
+					}
+				case 1:
+					k := FeatureKey(rng.Intn(2), fp, fmt.Sprintf("n%d", rng.Intn(8)))
+					if _, ok := c.GetFeatures(k, g); !ok {
+						c.PutFeatures(k, g, nil)
+					}
+				default:
+					k := PredictionKey(rng.Intn(2), fp)
+					if _, ok := c.GetPrediction(k, g); !ok {
+						c.PutPrediction(k, g, 1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	total := st.Template.Hits + st.Template.Misses + st.Feature.Hits + st.Feature.Misses +
+		st.Prediction.Hits + st.Prediction.Misses
+	if total != workers*opsEach {
+		t.Fatalf("lookups accounted = %d, want %d", total, workers*opsEach)
+	}
+	for name, ts := range map[string]TierStats{"template": st.Template, "feature": st.Feature, "prediction": st.Prediction} {
+		if ts.Size > st.Capacity {
+			t.Fatalf("%s tier size %d exceeds capacity %d", name, ts.Size, st.Capacity)
+		}
+	}
+}

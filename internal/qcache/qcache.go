@@ -1,0 +1,351 @@
+// Package qcache is the sharded, generation-aware query-fingerprint
+// cache behind the estimate hot path. It holds three tiers, each keyed
+// off the normalized SQL fingerprint (internal/sqlparse.Fingerprint):
+//
+//	template    (env, fingerprint)            → resolved plan skeleton
+//	feature     (env, fingerprint, literals)  → featurized plan
+//	prediction  (env, exact SQL)              → predicted milliseconds
+//
+// A cold query pays the full front half (parse → resolve → plan →
+// featurize → infer) and populates all three tiers on the way out. A
+// repeat of the exact text hits the prediction tier and skips everything.
+// A reformatted spelling of the same semantics hits the feature tier and
+// pays only model inference. A new literal vector over a known template
+// hits the template tier and skips lexing, parsing, and name resolution,
+// re-planning from the cached skeleton so every literal-dependent
+// decision (selectivities, operator choices) is recomputed — the property
+// that keeps cached results bit-identical to uncached ones.
+//
+// # Generations
+//
+// Every entry is stamped with the generation it was computed under — a
+// caller-supplied value derived from the estimator's full artifact hash
+// (benchmark fingerprint, env snapshot coefficients, reduction mask,
+// model weights). A lookup hits only when the entry's stamp equals the
+// caller's generation, and SetGeneration is one atomic store: swapping
+// in a retrained or freshly loaded estimator invalidates every tier at
+// once without a global lock, and in-flight writes from the old
+// generation can never satisfy new-generation reads.
+//
+// # Sharding
+//
+// Each tier is split over a power-of-two number of shards (key-hash
+// selected) with one mutex each, so concurrent serving spreads lock
+// traffic; within a shard, entries live in a fixed-capacity CLOCK ring
+// (second-chance LRU approximation): a hit sets the entry's reference
+// bit, and the eviction hand clears bits until it finds an unreferenced
+// victim. CLOCK keeps hits O(1) without the list surgery of exact LRU.
+package qcache
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/encoding"
+	"repro/internal/sqlparse"
+)
+
+// Options sizes a cache.
+type Options struct {
+	// Shards is the per-tier shard count, rounded up to a power of two.
+	// 0 picks a default scaled to GOMAXPROCS.
+	Shards int
+	// Capacity is the per-tier entry budget, split evenly across shards
+	// (minimum one entry per shard). 0 means 4096.
+	Capacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 8 * runtime.GOMAXPROCS(0)
+	}
+	o.Shards = nextPow2(min(max(o.Shards, 8), 512))
+	if o.Capacity <= 0 {
+		o.Capacity = 4096
+	}
+	return o
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// TierStats is one tier's counter snapshot.
+type TierStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+}
+
+// Stats snapshots the whole cache.
+type Stats struct {
+	Generation uint64    `json:"generation"`
+	Shards     int       `json:"shards"`
+	Capacity   int       `json:"capacity_per_tier"`
+	Template   TierStats `json:"template"`
+	Feature    TierStats `json:"feature"`
+	Prediction TierStats `json:"prediction"`
+}
+
+// HitRate is hits/(hits+misses) over all tiers' lookups, 0 when idle.
+func (s Stats) HitRate() float64 {
+	h := s.Template.Hits + s.Feature.Hits + s.Prediction.Hits
+	m := s.Template.Misses + s.Feature.Misses + s.Prediction.Misses
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// entry is one cached value with its generation stamp and CLOCK bit.
+type entry struct {
+	key  string
+	gen  uint64
+	val  any
+	ref  bool
+	live bool
+}
+
+// shard is one lock domain: a fixed-capacity CLOCK ring plus its key
+// index.
+type shard struct {
+	mu    sync.Mutex
+	index map[string]int // key → slot
+	slots []entry        // fixed length = per-shard capacity
+	hand  int
+	used  int
+}
+
+// tier is one cache level.
+type tier struct {
+	shards []*shard
+	mask   uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stores    atomic.Int64
+	evictions atomic.Int64
+}
+
+func newTier(shards, capacity int) *tier {
+	per := max(capacity/shards, 1)
+	t := &tier{shards: make([]*shard, shards), mask: uint64(shards - 1)}
+	for i := range t.shards {
+		t.shards[i] = &shard{index: make(map[string]int, per), slots: make([]entry, per)}
+	}
+	return t
+}
+
+// fnv64a hashes a key for shard selection.
+func fnv64a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (t *tier) shardFor(key string) *shard { return t.shards[fnv64a(key)&t.mask] }
+
+// get returns the value stored under key at generation g. An entry from
+// any other generation is invisible (and counted as a miss), which is the
+// whole invalidation mechanism.
+func (t *tier) get(key string, g uint64) (any, bool) {
+	s := t.shardFor(key)
+	s.mu.Lock()
+	i, ok := s.index[key]
+	if !ok || s.slots[i].gen != g {
+		s.mu.Unlock()
+		t.misses.Add(1)
+		return nil, false
+	}
+	s.slots[i].ref = true
+	v := s.slots[i].val
+	s.mu.Unlock()
+	t.hits.Add(1)
+	return v, true
+}
+
+// put stores val under key stamped with generation g, evicting via CLOCK
+// second chance when the shard is full. Stale-generation residents are
+// preferred victims regardless of their reference bit.
+func (t *tier) put(key string, g uint64, val any) {
+	s := t.shardFor(key)
+	s.mu.Lock()
+	if i, ok := s.index[key]; ok {
+		s.slots[i].gen = g
+		s.slots[i].val = val
+		s.slots[i].ref = true
+		s.mu.Unlock()
+		t.stores.Add(1)
+		return
+	}
+	var i int
+	if s.used < len(s.slots) {
+		// Free slot available (ring not yet full): linear scan from the
+		// hand — rings are small, and this only runs until first fill.
+		for s.slots[s.hand].live {
+			s.hand = (s.hand + 1) % len(s.slots)
+		}
+		i = s.hand
+		s.used++
+	} else {
+		// CLOCK sweep: clear reference bits until an unreferenced victim
+		// turns up; entries from dead generations lose their second
+		// chance immediately.
+		for {
+			e := &s.slots[s.hand]
+			if e.ref && e.gen == g {
+				e.ref = false
+				s.hand = (s.hand + 1) % len(s.slots)
+				continue
+			}
+			break
+		}
+		i = s.hand
+		delete(s.index, s.slots[i].key)
+		t.evictions.Add(1)
+	}
+	// New entries enter unreferenced — the first hit arms the bit — so a
+	// stream of one-shot queries cycles through unreferenced slots
+	// instead of stripping re-referenced residents of their second
+	// chance (scan resistance).
+	s.slots[i] = entry{key: key, gen: g, val: val, live: true}
+	s.index[key] = i
+	s.hand = (s.hand + 1) % len(s.slots)
+	s.mu.Unlock()
+	t.stores.Add(1)
+}
+
+func (t *tier) stats() TierStats {
+	st := TierStats{
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		Stores:    t.stores.Load(),
+		Evictions: t.evictions.Load(),
+	}
+	for _, s := range t.shards {
+		s.mu.Lock()
+		st.Size += len(s.index)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// QueryCache is the three-tier cache. One instance serves one estimator
+// at a time; attaching a different estimator just moves the generation.
+type QueryCache struct {
+	opts                          Options
+	gen                           atomic.Uint64
+	template, feature, prediction *tier
+}
+
+// New builds an empty cache.
+func New(opts Options) *QueryCache {
+	o := opts.withDefaults()
+	return &QueryCache{
+		opts:       o,
+		template:   newTier(o.Shards, o.Capacity),
+		feature:    newTier(o.Shards, o.Capacity),
+		prediction: newTier(o.Shards, o.Capacity),
+	}
+}
+
+// Generation returns the current generation. Callers capture it once per
+// request and pass the same value to every get/put of that request, so a
+// request that races a generation swap stays internally consistent and
+// its writes are invisible to the new generation.
+func (c *QueryCache) Generation() uint64 { return c.gen.Load() }
+
+// SetGeneration atomically moves the cache to a new generation,
+// logically invalidating every entry of all three tiers at once (stale
+// entries are evicted lazily as capacity demands).
+func (c *QueryCache) SetGeneration(g uint64) { c.gen.Store(g) }
+
+// Key builders. Tier keys embed the environment ID because every cached
+// artifact downstream of planning is environment-specific (knobs steer
+// operator choice; the snapshot block is per-environment).
+
+// TemplateKey keys the template tier: (env, fingerprint).
+func TemplateKey(envID int, fingerprint string) string {
+	return strconv.Itoa(envID) + "\x00" + fingerprint
+}
+
+// FeatureKey keys the feature tier: (env, fingerprint, literal signature).
+func FeatureKey(envID int, fingerprint, sig string) string {
+	return strconv.Itoa(envID) + "\x00" + fingerprint + "\x00" + sig
+}
+
+// PredictionKey keys the prediction tier: (env, exact SQL text).
+func PredictionKey(envID int, sql string) string {
+	return strconv.Itoa(envID) + "\x00" + sql
+}
+
+// GetTemplate returns the resolved skeleton cached for a template key.
+// The skeleton is shared and immutable: callers must Clone before
+// binding literals.
+func (c *QueryCache) GetTemplate(key string, g uint64) (*sqlparse.Query, bool) {
+	v, ok := c.template.get(key, g)
+	if !ok {
+		return nil, false
+	}
+	return v.(*sqlparse.Query), true
+}
+
+// PutTemplate stores a resolved skeleton. The caller hands over
+// ownership: the query must not be mutated afterwards.
+func (c *QueryCache) PutTemplate(key string, g uint64, q *sqlparse.Query) {
+	c.template.put(key, g, q)
+}
+
+// GetFeatures returns the featurized plan cached for a feature key.
+// Shared and immutable.
+func (c *QueryCache) GetFeatures(key string, g uint64) (*encoding.FeaturizedPlan, bool) {
+	v, ok := c.feature.get(key, g)
+	if !ok {
+		return nil, false
+	}
+	return v.(*encoding.FeaturizedPlan), true
+}
+
+// PutFeatures stores a featurized plan; ownership transfers.
+func (c *QueryCache) PutFeatures(key string, g uint64, fp *encoding.FeaturizedPlan) {
+	c.feature.put(key, g, fp)
+}
+
+// GetPrediction returns the memoized prediction for an exact (env, SQL)
+// pair.
+func (c *QueryCache) GetPrediction(key string, g uint64) (float64, bool) {
+	v, ok := c.prediction.get(key, g)
+	if !ok {
+		return 0, false
+	}
+	return v.(float64), true
+}
+
+// PutPrediction memoizes one prediction.
+func (c *QueryCache) PutPrediction(key string, g uint64, ms float64) {
+	c.prediction.put(key, g, ms)
+}
+
+// Stats snapshots all counters.
+func (c *QueryCache) Stats() Stats {
+	return Stats{
+		Generation: c.gen.Load(),
+		Shards:     c.opts.Shards,
+		Capacity:   c.opts.Capacity,
+		Template:   c.template.stats(),
+		Feature:    c.feature.stats(),
+		Prediction: c.prediction.stats(),
+	}
+}

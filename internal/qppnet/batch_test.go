@@ -3,8 +3,34 @@ package qppnet
 import (
 	"testing"
 
+	"repro/internal/encoding"
 	"repro/internal/planner"
 )
+
+// TestPredictFeaturizedBatchBitIdentical asserts the feature-tier
+// inference path (skeletons built from cached post-order vectors, the
+// query cache's hit path) equals the batched path bit for bit, across
+// chunk boundaries and multi-level trees.
+func TestPredictFeaturizedBatchBitIdentical(t *testing.T) {
+	f := testFeaturizer()
+	m := New(f, 1)
+	plans, ms := synthPlans(700, 2) // several inference chunks
+	m.Train(plans[:80], ms[:80], 40)
+	fps := make([]*encoding.FeaturizedPlan, len(plans))
+	for i, p := range plans {
+		fps[i] = f.Featurize(p)
+	}
+	got := m.PredictFeaturizedBatch(fps)
+	want := m.PredictBatch(plans)
+	for i := range plans {
+		if got[i] != want[i] {
+			t.Fatalf("plan %d: PredictFeaturizedBatch %v != PredictBatch %v", i, got[i], want[i])
+		}
+	}
+	if out := m.PredictFeaturizedBatch(nil); out != nil {
+		t.Fatalf("empty batch should return nil")
+	}
+}
 
 // TestPredictBatchBitIdentical asserts the level-batched inference path
 // equals the per-sample tree recursion bit for bit, including after

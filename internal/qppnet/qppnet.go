@@ -285,26 +285,47 @@ func (m *Model) PredictMs(root *planner.Node) float64 {
 	return metrics.UnlogMs(tc.out[0])
 }
 
+// predictChunkNodes bounds how many plan nodes one inference chunk
+// materializes (skeletons, features, and layer caches); plans are
+// independent, so chunking never changes results.
+const predictChunkNodes = 1024
+
 // PredictBatch estimates every plan's execution time in one level-batched
 // pass. Output i is bit-identical to PredictMs(roots[i]).
 func (m *Model) PredictBatch(roots []*planner.Node) []float64 {
-	if len(roots) == 0 {
+	return m.predictSkeletons(len(roots),
+		func(i int) int { return roots[i].CountNodes() },
+		func(i int) *planSkeleton { return newSkeleton(roots[i], planFeatures(m.F, roots[i])) })
+}
+
+// PredictFeaturizedBatch is PredictBatch over pre-featurized plans (the
+// query cache's feature tier): skeletons are built from the cached
+// post-order rows instead of re-featurizing — exactly the feature reuse
+// the training loop already does across iterations — so output i is
+// bit-identical to PredictMs(fps[i].Root).
+func (m *Model) PredictFeaturizedBatch(fps []*encoding.FeaturizedPlan) []float64 {
+	return m.predictSkeletons(len(fps),
+		func(i int) int { return fps[i].NumNodes() },
+		func(i int) *planSkeleton { return newSkeleton(fps[i].Root, fps[i].Post) })
+}
+
+// predictSkeletons runs the chunked level-batched inference loop over n
+// plans whose skeletons are produced on demand by skel (size gives plan i's
+// node count for chunk packing).
+func (m *Model) predictSkeletons(n int, size func(int) int, skel func(int) *planSkeleton) []float64 {
+	if n == 0 {
 		return nil
 	}
-	// Chunking bounds peak memory (skeletons, features, and layer caches
-	// are materialized per chunk); plans are independent, so results are
-	// unchanged.
-	const chunkNodes = 1024
-	out := make([]float64, len(roots))
+	out := make([]float64, n)
 	ar := &linalg.Arena{}
 	sc := &batchScratch{}
 	var skels []*planSkeleton
-	for start := 0; start < len(roots); {
+	for start := 0; start < n; {
 		ar.Reset()
 		skels = skels[:0]
 		end, nodes := start, 0
-		for end < len(roots) && (end == start || nodes+roots[end].CountNodes() <= chunkNodes) {
-			skels = append(skels, newSkeleton(roots[end], planFeatures(m.F, roots[end])))
+		for end < n && (end == start || nodes+size(end) <= predictChunkNodes) {
+			skels = append(skels, skel(end))
 			nodes += len(skels[len(skels)-1].flat)
 			end++
 		}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	qcfe "repro"
 )
 
 // HTTP request/response bodies. The /estimate_batch response shape
@@ -44,11 +46,14 @@ type healthResponse struct {
 	UptimeS   float64 `json:"uptime_s"`
 }
 
-// statsResponse is the /stats reply.
+// statsResponse is the /stats reply. Cache is present only when the
+// estimator has a query cache attached; its per-tier hit/miss/size
+// counters come straight from internal/qcache.
 type statsResponse struct {
 	Stats
-	MaxBatch      int     `json:"max_batch"`
-	BatchWindowMs float64 `json:"batch_window_ms"`
+	MaxBatch      int              `json:"max_batch"`
+	BatchWindowMs float64          `json:"batch_window_ms"`
+	Cache         *qcfe.CacheStats `json:"cache,omitempty"`
 }
 
 // errorResponse is every error reply.
@@ -112,11 +117,15 @@ func (s *Server) Handler() http.Handler {
 		if !requireGet(w, r) {
 			return
 		}
-		writeJSON(w, http.StatusOK, statsResponse{
+		resp := statsResponse{
 			Stats:         s.Stats(),
 			MaxBatch:      s.opts.MaxBatch,
 			BatchWindowMs: float64(s.opts.BatchWindow.Milliseconds()),
-		})
+		}
+		if cs, ok := s.est.CacheStats(); ok {
+			resp.Cache = &cs
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	return mux
 }

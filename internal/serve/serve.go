@@ -33,6 +33,15 @@ type Estimator interface {
 	Environments() []*qcfe.Environment
 	EstimateSQL(env *qcfe.Environment, sql string) (float64, error)
 	EstimateSQLBatchCtx(ctx context.Context, env *qcfe.Environment, sqls []string) ([]float64, error)
+	// CachedEstimate returns the memoized prediction for an exact
+	// (environment, SQL text) pair when an attached query cache can
+	// answer without planning or inference; ok=false otherwise (no
+	// cache, cold key, or stale generation). Estimate probes it before
+	// enqueueing, so warm hits never pay the BatchWindow.
+	CachedEstimate(env *qcfe.Environment, sql string) (float64, bool)
+	// CacheStats snapshots the attached query cache's counters; ok is
+	// false when no cache is attached.
+	CacheStats() (qcfe.CacheStats, bool)
 }
 
 // Options configures the serving behavior.
@@ -77,10 +86,14 @@ type Stats struct {
 	// Coalesced counts single-query requests that shared their
 	// micro-batch with at least one other request.
 	Coalesced int64 `json:"coalesced"`
+	// CacheHits counts single-query requests served straight from the
+	// query cache's prediction tier — they skip the coalescing queue
+	// (and its BatchWindow) entirely.
+	CacheHits int64 `json:"cache_hits"`
 	// Errors counts requests that returned an error.
 	Errors int64 `json:"errors"`
-	// MeanBatch is Requests/Flushes — the average micro-batch size the
-	// coalescer achieved.
+	// MeanBatch is (Requests-CacheHits)/Flushes — the average micro-batch
+	// size the coalescer achieved over the requests that actually queued.
 	MeanBatch float64 `json:"mean_batch"`
 }
 
@@ -110,6 +123,7 @@ type Server struct {
 	batchRequests atomic.Int64
 	flushes       atomic.Int64
 	coalesced     atomic.Int64
+	cacheHits     atomic.Int64
 	errors        atomic.Int64
 }
 
@@ -267,6 +281,13 @@ func (s *Server) Estimate(ctx context.Context, envID int, sql string) (float64, 
 		return 0, err
 	}
 	s.requests.Add(1)
+	// A warm prediction-tier hit is deterministic and already known:
+	// answer straight away instead of paying the BatchWindow wait in
+	// gather. Misses (and cacheless estimators) coalesce as before.
+	if ms, ok := s.est.CachedEstimate(env, sql); ok {
+		s.cacheHits.Add(1)
+		return ms, nil
+	}
 	r := &request{env: env, sql: sql, reply: make(chan result, 1)}
 	select {
 	case s.queue <- r:
@@ -309,10 +330,11 @@ func (s *Server) Stats() Stats {
 		BatchRequests: s.batchRequests.Load(),
 		Flushes:       s.flushes.Load(),
 		Coalesced:     s.coalesced.Load(),
+		CacheHits:     s.cacheHits.Load(),
 		Errors:        s.errors.Load(),
 	}
 	if st.Flushes > 0 {
-		st.MeanBatch = float64(st.Requests) / float64(st.Flushes)
+		st.MeanBatch = float64(st.Requests-st.CacheHits) / float64(st.Flushes)
 	}
 	return st
 }

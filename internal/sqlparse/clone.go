@@ -1,0 +1,68 @@
+package sqlparse
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+)
+
+// Clone deep-copies the query AST. The copy shares nothing mutable with
+// the original: every slice (including per-predicate argument lists) is
+// duplicated, so resolving, literal-coercing, or re-binding the clone
+// never writes through to the source. The template tier of the query
+// cache stores one immutable resolved skeleton per fingerprint and hands
+// each hit a Clone to bind and plan.
+func (q *Query) Clone() *Query {
+	c := &Query{Limit: q.Limit}
+	c.Select = append([]SelectItem(nil), q.Select...)
+	c.Tables = append([]TableRef(nil), q.Tables...)
+	c.Joins = append([]JoinCond(nil), q.Joins...)
+	c.GroupBy = append([]ColRef(nil), q.GroupBy...)
+	c.OrderBy = append([]OrderItem(nil), q.OrderBy...)
+	c.Preds = make([]Predicate, len(q.Preds))
+	for i, p := range q.Preds {
+		c.Preds[i] = Predicate{Col: p.Col, Op: p.Op, Args: append([]catalog.Value(nil), p.Args...)}
+	}
+	return c
+}
+
+// BindLiterals splices a literal vector (as extracted by Fingerprint, in
+// source order) into the query in place: predicate arguments first, in
+// predicate order — the grammar guarantees WHERE-clause source order —
+// then the LIMIT count when one more literal remains. The literal count
+// must match the query's slots exactly; a mismatch (or a non-integer
+// LIMIT) is an error, and callers treat it as a cache miss and re-parse.
+//
+// Binding the literals of query B into the skeleton of a same-fingerprint
+// query A reproduces B's parsed AST exactly: a shared fingerprint implies
+// an identical token structure, so the queries differ only in the literal
+// values this function writes.
+func (q *Query) BindLiterals(lits []Literal) error {
+	i := 0
+	for pi := range q.Preds {
+		for ai := range q.Preds[pi].Args {
+			if i >= len(lits) {
+				return fmt.Errorf("sqlparse: bind: %d literals for more argument slots", len(lits))
+			}
+			q.Preds[pi].Args[ai] = lits[i].Val
+			i++
+		}
+	}
+	switch {
+	case i == len(lits):
+		return nil
+	case i+1 == len(lits) && q.Limit != -1:
+		// The skeleton carries an explicit LIMIT, so the trailing literal
+		// is its count. (A skeleton parsed from `LIMIT -1` is
+		// indistinguishable from no LIMIT and lands in the mismatch arm —
+		// the caller re-parses, trading a cache miss for correctness.)
+		v := lits[i].Val
+		if v.IsStr || v.IsFloat || v.Null {
+			return fmt.Errorf("sqlparse: bind: LIMIT wants an integer, got %q", lits[i].Raw)
+		}
+		q.Limit = int(v.I)
+		return nil
+	default:
+		return fmt.Errorf("sqlparse: bind: %d literals for %d argument slots", len(lits), i)
+	}
+}

@@ -1,0 +1,151 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// This file is the normalization front end of the query-fingerprint cache
+// (internal/qcache): Fingerprint maps every textual spelling of one query
+// template to one canonical key, and the extracted literals let the
+// cache's template tier re-bind a cached plan skeleton to a new literal
+// vector (Query.BindLiterals) instead of re-parsing from scratch.
+
+// Literal is one literal stripped out of a query during fingerprinting,
+// in source order. Val is the parsed value exactly as the parser would
+// have produced it; Raw is the source spelling (the literal-signature
+// component — two spellings of the same value hash to distinct
+// signatures, which costs a duplicate cache entry but can never alias
+// two different queries).
+type Literal struct {
+	Val catalog.Value
+	Raw string
+	Str bool // string literal (Raw is the unescaped text)
+}
+
+// Signature folds a literal list into one cache-key component. Each
+// literal is tagged with its kind and length-prefixed — framing by
+// length rather than by a separator keeps the encoding injective even
+// when a string literal contains the separator byte itself — so
+// distinct literal vectors always produce distinct signatures and a
+// (fingerprint, signature) pair identifies one exact query semantics.
+func Signature(lits []Literal) string {
+	if len(lits) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, l := range lits {
+		kind := byte('n')
+		if l.Str {
+			kind = 's'
+		}
+		fmt.Fprintf(&sb, "%c%d:", kind, len(l.Raw))
+		sb.WriteString(l.Raw)
+	}
+	return sb.String()
+}
+
+// keywords is the grammar's keyword set; Fingerprint lowercases exactly
+// these (identifiers keep their spelling, so two tables differing only in
+// case cannot collide onto one fingerprint).
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true,
+	"join": true, "inner": true, "on": true,
+	"group": true, "order": true, "by": true, "limit": true,
+	"desc": true, "asc": true,
+	"between": true, "like": true, "in": true,
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// Fingerprint normalizes one SQL statement into its template form:
+// keywords lowercased, literals stripped (each becomes a `?`), whitespace
+// canonicalized to single spaces with SQL-ish punctuation spacing. It
+// returns the normalized template plus the stripped literals in source
+// order. Queries that differ only in literal values, keyword case, or
+// whitespace share a fingerprint; any structural difference — one more IN
+// element, a different column, an extra predicate — changes it.
+//
+// Fingerprint only lexes; a string that fingerprints successfully can
+// still fail to parse. Callers fall back to the ordinary parse path on
+// error, so the error text here never reaches users.
+func Fingerprint(sql string) (string, []Literal, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	var sb strings.Builder
+	var lits []Literal
+	prev := token{kind: tokEOF}
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		text := t.text
+		switch t.kind {
+		case tokIdent:
+			if lower := strings.ToLower(text); keywords[lower] {
+				text = lower
+			}
+		case tokNumber:
+			v, err := numberValue(text)
+			if err != nil {
+				return "", nil, fmt.Errorf("sqlparse: fingerprint: %w", err)
+			}
+			lits = append(lits, Literal{Val: v, Raw: text})
+			text = "?"
+		case tokString:
+			lits = append(lits, Literal{Val: catalog.StrVal(t.text), Raw: t.text, Str: true})
+			text = "?"
+		}
+		if sb.Len() > 0 && spaceBetween(prev, t) {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(text)
+		prev = t
+	}
+	return sb.String(), lits, nil
+}
+
+// aggFuncs are the function-like keywords; a '(' following one is a call
+// and gets no space (`count(*)`), while a '(' after anything else is a
+// list and does (`in (?, ?)`).
+var aggFuncs = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+
+// spaceBetween decides canonical spacing: none around '.', none before
+// ',', ')' and ';', none after '(', none between a function keyword and
+// its '('.
+func spaceBetween(prev, cur token) bool {
+	if prev.kind == tokPunct && (prev.text == "." || prev.text == "(") {
+		return false
+	}
+	if cur.kind == tokPunct {
+		switch cur.text {
+		case ".", ",", ")", ";":
+			return false
+		case "(":
+			return !(prev.kind == tokIdent && aggFuncs[strings.ToLower(prev.text)])
+		}
+	}
+	return true
+}
+
+// numberValue converts a number token to a Value exactly the way the
+// parser's literal production does, so a template-tier rebind sees the
+// same values a fresh parse would.
+func numberValue(text string) (catalog.Value, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return catalog.Value{}, err
+		}
+		return catalog.FloatVal(f), nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	return catalog.IntVal(n), nil
+}

@@ -380,18 +380,7 @@ func (p *parser) parseLiteral() (catalog.Value, error) {
 	switch t.kind {
 	case tokNumber:
 		p.next()
-		if strings.Contains(t.text, ".") {
-			f, err := strconv.ParseFloat(t.text, 64)
-			if err != nil {
-				return catalog.Value{}, err
-			}
-			return catalog.FloatVal(f), nil
-		}
-		n, err := strconv.ParseInt(t.text, 10, 64)
-		if err != nil {
-			return catalog.Value{}, err
-		}
-		return catalog.IntVal(n), nil
+		return numberValue(t.text)
 	case tokString:
 		p.next()
 		return catalog.StrVal(t.text), nil

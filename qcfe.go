@@ -22,16 +22,20 @@ package qcfe
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dbenv"
+	"repro/internal/encoding"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/pgcost"
 	"repro/internal/planner"
+	"repro/internal/qcache"
 	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
@@ -101,16 +105,25 @@ type QueryResult struct {
 // front half of executing a query (Benchmark.Execute) and pricing one
 // without running it (CostEstimator.EstimateSQL).
 func planAnnotated(ds *datagen.Dataset, env *Environment, sql string) (*planner.Node, error) {
+	node, _, err := planParsed(ds, env, sql)
+	return node, err
+}
+
+// planParsed is planAnnotated exposing the parsed (and, after planning,
+// resolved) query alongside the plan — the query-cache cold path stores
+// it as the template skeleton. Both paths share this one function so the
+// cache-on == cache-off bitwise contract cannot drift.
+func planParsed(ds *datagen.Dataset, env *Environment, sql string) (*planner.Node, *sqlparse.Query, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	node, err := planner.New(ds.Schema, ds.Stats, env.Knobs).Plan(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
-	return node, nil
+	return node, q, nil
 }
 
 // Execute plans and runs one SQL query under an environment.
@@ -212,12 +225,36 @@ func NewPipeline(model string, opts ...Option) *Pipeline {
 	return &Pipeline{cfg: cfg}
 }
 
+// QueryCache is the sharded, generation-aware query-fingerprint cache
+// (see internal/qcache): three tiers — template, feature, prediction —
+// keyed off the normalized SQL fingerprint, invalidated atomically when
+// a different estimator attaches.
+type QueryCache = qcache.QueryCache
+
+// CacheOptions sizes a QueryCache (shard count, per-tier capacity).
+type CacheOptions = qcache.Options
+
+// CacheStats is a QueryCache counter snapshot.
+type CacheStats = qcache.Stats
+
+// NewQueryCache builds an empty query cache. Attach it to an estimator
+// with AttachCache; predictions served through it are bit-identical to
+// the uncached paths.
+func NewQueryCache(opts CacheOptions) *QueryCache { return qcache.New(opts) }
+
 // CostEstimator is a trained model bound to its feature pipeline.
 type CostEstimator struct {
 	res   *core.Result
 	bench *Benchmark
 	envs  []*Environment
 	cfg   core.Config
+
+	// cache, when attached, accelerates the SQL estimate paths; nil means
+	// every call runs the full front half. Attach during setup — the
+	// field is read without synchronization by concurrent estimates.
+	cache   *qcache.QueryCache
+	genOnce sync.Once
+	gen     uint64
 }
 
 // Fit trains the pipeline on labeled samples collected over envs. An
@@ -251,14 +288,166 @@ func (e *CostEstimator) EstimateBatch(plans []*planner.Node) []float64 {
 	return e.res.Model.PredictBatch(plans)
 }
 
+// AttachCache binds a query cache to the estimator and moves the cache
+// to this estimator's generation — an atomic swap that logically
+// invalidates every entry another estimator left behind, so a stale
+// prediction can never be served across a LoadEstimator or retrain.
+// Every lookup and store this estimator makes is stamped with its own
+// generation (not the cache's current one), so even an estimator that
+// keeps serving in-flight traffic after the cache moved on can neither
+// read nor pollute the new generation's entries. Because the generation
+// is a hash of the full artifact (benchmark fingerprint, snapshot
+// coefficients, mask, model weights), re-attaching a byte-identical
+// estimator (Save→Load of the same model) keeps the cache warm.
+//
+// Environments are identified by their ID throughout the cache, matching
+// how the featurizer selects per-environment snapshots; callers must not
+// reuse one ID for two different environments (the trained set never
+// does).
+func (e *CostEstimator) AttachCache(c *qcache.QueryCache) {
+	c.SetGeneration(e.cacheGeneration())
+	e.cache = c
+}
+
+// Cache returns the attached query cache (nil when none).
+func (e *CostEstimator) Cache() *qcache.QueryCache { return e.cache }
+
+// CacheStats snapshots the attached cache's counters; ok is false when
+// no cache is attached.
+func (e *CostEstimator) CacheStats() (CacheStats, bool) {
+	if e.cache == nil {
+		return CacheStats{}, false
+	}
+	return e.cache.Stats(), true
+}
+
+// cacheGeneration derives the estimator's cache generation stamp by
+// hashing its serialized artifact — everything predictions depend on.
+// Computed once; deterministic across Save/Load round trips.
+func (e *CostEstimator) cacheGeneration() uint64 {
+	e.genOnce.Do(func() {
+		h := fnv.New64a()
+		if err := e.Save(h); err != nil {
+			// Save only fails on an impossible (empty) estimator; fall
+			// back to a constant so attaching still invalidates foreign
+			// entries.
+			h.Write([]byte(err.Error()))
+		}
+		e.gen = h.Sum64()
+	})
+	return e.gen
+}
+
+// CachedEstimate consults only the prediction tier: a warm hit returns
+// the memoized prediction for the exact (environment, SQL text) pair
+// without planning, featurizing, or inference; a miss returns ok=false
+// without doing any work. The serving layer probes this before paying
+// the coalescing queue's batching latency.
+func (e *CostEstimator) CachedEstimate(env *Environment, sql string) (float64, bool) {
+	if e.cache == nil {
+		return 0, false
+	}
+	return e.cache.GetPrediction(qcache.PredictionKey(env.ID, sql), e.cacheGeneration())
+}
+
 // EstimateSQL plans a query under env and predicts its cost without
-// executing it.
+// executing it. With a cache attached, repeats are served from the
+// prediction tier and template/literal variants skip the front-half
+// stages their tiers cover; results are bit-identical either way.
 func (e *CostEstimator) EstimateSQL(env *Environment, sql string) (float64, error) {
-	node, err := planAnnotated(e.bench.ds, env, sql)
+	if e.cache == nil {
+		node, err := planAnnotated(e.bench.ds, env, sql)
+		if err != nil {
+			return 0, err
+		}
+		return e.res.Model.PredictMs(node), nil
+	}
+	g := e.cacheGeneration()
+	pkey := qcache.PredictionKey(env.ID, sql)
+	if ms, ok := e.cache.GetPrediction(pkey, g); ok {
+		return ms, nil
+	}
+	fp, err := e.featurizedPlan(g, env, sql)
 	if err != nil {
 		return 0, err
 	}
-	return e.res.Model.PredictMs(node), nil
+	ms := e.res.Model.PredictFeaturizedBatch([]*encoding.FeaturizedPlan{fp})[0]
+	e.cache.PutPrediction(pkey, g, ms)
+	return ms, nil
+}
+
+// featurizedPlan runs the cache-aware front half for one query: probe
+// the feature tier (fingerprint + literal signature), then the template
+// tier (fingerprint; bind fresh literals into a clone of the cached
+// resolved skeleton and re-plan, recomputing every literal-dependent
+// selectivity and operator choice), then fall back to the full
+// parse→resolve→plan→featurize pipeline, populating the tiers on the
+// way out. Any hiccup on a cached path (literal mismatch, plan error)
+// falls back to the full pipeline so errors and results are exactly the
+// uncached ones.
+func (e *CostEstimator) featurizedPlan(g uint64, env *Environment, sql string) (*encoding.FeaturizedPlan, error) {
+	fpr, lits, ferr := sqlparse.Fingerprint(sql)
+	if ferr != nil {
+		// Unlexable text: let the ordinary path produce the
+		// authoritative error (or, conceivably, a result).
+		node, err := planAnnotated(e.bench.ds, env, sql)
+		if err != nil {
+			return nil, err
+		}
+		return e.featurize(node), nil
+	}
+	fkey := qcache.FeatureKey(env.ID, fpr, sqlparse.Signature(lits))
+	if fp, ok := e.cache.GetFeatures(fkey, g); ok {
+		return fp, nil
+	}
+	tkey := qcache.TemplateKey(env.ID, fpr)
+	var node *planner.Node
+	if skel, ok := e.cache.GetTemplate(tkey, g); ok {
+		node = e.planFromSkeleton(skel, lits, env)
+	}
+	if node == nil {
+		var q *sqlparse.Query
+		var err error
+		node, q, err = planParsed(e.bench.ds, env, sql)
+		if err != nil {
+			return nil, err
+		}
+		// Freeze the now-resolved skeleton for future literal variants.
+		// (Its literal values are the ones just planned; every hit
+		// overwrites them via BindLiterals before planning.)
+		e.cache.PutTemplate(tkey, g, q.Clone())
+	}
+	fp := e.featurize(node)
+	e.cache.PutFeatures(fkey, g, fp)
+	return fp, nil
+}
+
+// featurize builds the feature-tier value for one planned query. The
+// analytic baseline prices the plan directly and never reads feature
+// rows, so its entries carry only the plan (still worth caching: a
+// feature-tier hit skips parse+resolve+plan); the learned models get
+// the full per-node featurization.
+func (e *CostEstimator) featurize(node *planner.Node) *encoding.FeaturizedPlan {
+	if _, analytic := e.res.Model.(*core.Analytic); analytic {
+		return &encoding.FeaturizedPlan{Root: node}
+	}
+	return e.res.F.Featurize(node)
+}
+
+// planFromSkeleton re-plans a cached resolved skeleton under a fresh
+// literal vector. nil means "treat as a template miss": the caller
+// re-runs the full pipeline, which reproduces any error exactly.
+func (e *CostEstimator) planFromSkeleton(skel *sqlparse.Query, lits []sqlparse.Literal, env *Environment) *planner.Node {
+	q := skel.Clone()
+	if err := q.BindLiterals(lits); err != nil {
+		return nil
+	}
+	node, err := planner.New(e.bench.ds.Schema, e.bench.ds.Stats, env.Knobs).PlanResolved(q)
+	if err != nil {
+		return nil
+	}
+	node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
+	return node
 }
 
 // EstimateSQLBatch plans every query under env on the worker pool and
@@ -273,14 +462,53 @@ func (e *CostEstimator) EstimateSQLBatch(env *Environment, sqls []string) ([]flo
 // the planning fan-out stops claiming queries once ctx is cancelled and
 // the call returns ctx's error. It is the serving path — qcfe-serve
 // routes coalesced request batches through it with the request context.
+//
+// With a cache attached, each query is first checked against the
+// prediction tier; only the misses run the (cache-aware) front half and
+// batched inference. Results are bit-identical to the uncached path, and
+// so are errors: a query that fails to parse or plan is never cached, so
+// the lowest-index failure wins exactly as in the plain fan-out.
 func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environment, sqls []string) ([]float64, error) {
-	nodes, err := parallel.MapCtx(ctx, len(sqls), 0, func(i int) (*planner.Node, error) {
-		return planAnnotated(e.bench.ds, env, sqls[i])
+	if e.cache == nil {
+		nodes, err := parallel.MapCtx(ctx, len(sqls), 0, func(i int) (*planner.Node, error) {
+			return planAnnotated(e.bench.ds, env, sqls[i])
+		})
+		if err != nil {
+			return nil, err
+		}
+		return e.res.Model.PredictBatch(nodes), nil
+	}
+	// Parity with the uncached fan-out, which surfaces cancellation even
+	// when there is nothing to plan: an expired context errors here too,
+	// regardless of cache temperature.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := e.cacheGeneration()
+	res := make([]float64, len(sqls))
+	miss := make([]int, 0, len(sqls))
+	for i, sql := range sqls {
+		if ms, ok := e.cache.GetPrediction(qcache.PredictionKey(env.ID, sql), g); ok {
+			res[i] = ms
+		} else {
+			miss = append(miss, i)
+		}
+	}
+	if len(miss) == 0 {
+		return res, nil
+	}
+	fps, err := parallel.MapCtx(ctx, len(miss), 0, func(k int) (*encoding.FeaturizedPlan, error) {
+		return e.featurizedPlan(g, env, sqls[miss[k]])
 	})
 	if err != nil {
 		return nil, err
 	}
-	return e.res.Model.PredictBatch(nodes), nil
+	ms := e.res.Model.PredictFeaturizedBatch(fps)
+	for k, i := range miss {
+		res[i] = ms[k]
+		e.cache.PutPrediction(qcache.PredictionKey(env.ID, sqls[i]), g, ms[k])
+	}
+	return res, nil
 }
 
 // Evaluate computes q-error and correlation metrics on test samples.
