@@ -21,6 +21,17 @@
 // featurizations across literal variants; /stats reports per-tier
 // hit/miss/size counters.
 //
+// With -adapt the daemon also runs the online-adaptation loop
+// (internal/online): served estimates are opportunistically replayed
+// through the execution engine for ground-truth labels (every
+// -label-every-th request; POST /shadow submits client-observed
+// latencies directly), the rolling median q-error is tracked against
+// -drift-threshold, and on drift the model is incrementally retrained
+// on the last -retrain-window labeled queries and hot-swapped in — an
+// atomic pointer swap: in-flight requests finish on the old model, new
+// requests see the new one, and the new artifact generation invalidates
+// the query cache without a lock. /stats gains a "drift" block.
+//
 // Predictions are bit-identical to the library's EstimateSQL on the same
 // artifact, cached or not. SIGINT/SIGTERM trigger a graceful shutdown:
 // in-flight requests finish, queued requests fail with a shutdown error.
@@ -39,6 +50,7 @@ import (
 	"time"
 
 	qcfe "repro"
+	"repro/internal/online"
 	"repro/internal/parallel"
 	"repro/internal/serve"
 )
@@ -52,6 +64,11 @@ func main() {
 	cache := flag.Bool("cache", true, "enable the sharded query-fingerprint cache (template/feature/prediction tiers); hits are bit-identical to cold estimates")
 	cacheShards := flag.Int("cache-shards", 0, "cache shard count per tier, rounded to a power of two (0 = scaled to GOMAXPROCS)")
 	cacheCapacity := flag.Int("cache-capacity", 0, "cache entry budget per tier (0 = 4096)")
+	adapt := flag.Bool("adapt", false, "enable drift-monitored online adaptation: label served traffic, retrain incrementally on drift, hot-swap atomically")
+	driftThreshold := flag.Float64("drift-threshold", 2.0, "with -adapt: rolling median q-error above which the model is retrained")
+	retrainWindow := flag.Int("retrain-window", 256, "with -adapt: sliding window of recent labeled queries retraining uses")
+	retrainIters := flag.Int("retrain-iters", 60, "with -adapt: training iterations per incremental retrain")
+	labelEvery := flag.Int("label-every", 8, "with -adapt: replay every Nth served estimate through the engine for a ground-truth label (1 = label everything)")
 	flag.Parse()
 
 	if *artifactPath == "" {
@@ -65,13 +82,22 @@ func main() {
 	if *cache {
 		copts = &qcfe.CacheOptions{Shards: *cacheShards, Capacity: *cacheCapacity}
 	}
-	if err := run(*artifactPath, *addr, serve.Options{MaxBatch: *maxBatch, BatchWindow: *batchWindow}, copts); err != nil {
+	var aopts *online.Options
+	if *adapt {
+		aopts = &online.Options{
+			Window:         *retrainWindow,
+			DriftThreshold: *driftThreshold,
+			RetrainIters:   *retrainIters,
+			LabelEvery:     *labelEvery,
+		}
+	}
+	if err := run(*artifactPath, *addr, serve.Options{MaxBatch: *maxBatch, BatchWindow: *batchWindow}, copts, aopts); err != nil {
 		fmt.Fprintf(os.Stderr, "qcfe-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(artifactPath, addr string, opts serve.Options, copts *qcfe.CacheOptions) error {
+func run(artifactPath, addr string, opts serve.Options, copts *qcfe.CacheOptions, aopts *online.Options) error {
 	f, err := os.Open(artifactPath)
 	if err != nil {
 		return err
@@ -95,6 +121,13 @@ func run(artifactPath, addr string, opts serve.Options, copts *qcfe.CacheOptions
 	defer stop()
 
 	srv := serve.New(est, opts)
+	if aopts != nil {
+		ad := online.New(est, *aopts, func(next *qcfe.CostEstimator) { srv.SwapEstimator(next) })
+		srv.SetMonitor(ad)
+		go ad.Run(ctx)
+		fmt.Printf("qcfe-serve: online adaptation on (window %d, drift threshold %.2f, %d retrain iters, labeling every %d); POST /shadow submits ground truth\n",
+			aopts.Window, aopts.DriftThreshold, aopts.RetrainIters, aopts.LabelEvery)
+	}
 	go srv.Run(ctx)
 
 	httpSrv := &http.Server{

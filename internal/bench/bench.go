@@ -1,8 +1,9 @@
 // Package bench is the microbenchmark harness behind the CI
 // benchmark-regression gate: it measures the estimator stack's scalar and
-// batched hot paths (training iterations, predictions, coalesced and
-// cache-warm serving) on the quick grid and emits machine-readable rows —
-// the BENCH_PR4.json schema (unchanged from BENCH_PR2.json):
+// batched hot paths (training iterations, predictions, coalesced,
+// cache-warm, and post-hot-swap serving) on the quick grid and emits
+// machine-readable rows — the BENCH_PR5.json schema (unchanged from
+// BENCH_PR2.json):
 //
 //	[{"name": ..., "iters": ..., "ns_per_op": ..., "allocs_per_op": ...}, ...]
 //
@@ -18,6 +19,7 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -93,6 +95,20 @@ const (
 	// ServeCoalesced by at least the -min-warm-speedup factor (both rows
 	// come from the same run, so machine speed cancels exactly).
 	ServeWarm = "serve/estimate-warm"
+
+	// ServeSwap measures one full estimator hot swap: the query-cache
+	// generation handoff (qcfe.SwapEstimator) plus the serving pointer
+	// store (serve.Server.SwapEstimator), alternating between two
+	// byte-identical estimators. This is the whole cost a swap adds to
+	// the serving plane — there is no drain, lock, or rebuild.
+	ServeSwap = "serve/swap"
+	// ServeWarmPostSwap re-measures the warm concurrent serving loop
+	// immediately after a hot swap to an estimator loaded from the same
+	// artifact bytes: generations coincide, so every prediction-tier
+	// entry must still hit. The CI gate holds it to the same
+	// -min-warm-speedup floor as ServeWarm — a swap that silently chilled
+	// the cache would fail here.
+	ServeWarmPostSwap = "serve/estimate-warm-postswap"
 )
 
 // Gated lists the rows the CI gate checks for predictions/sec regressions:
@@ -316,7 +332,47 @@ func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, er
 		}
 	}
 	rows = append(rows, concurrent(ServeWarm))
+
+	// Hot-swap rows. The twin is a Save→Load of the serving estimator:
+	// byte-identical artifact, so the same cache generation — the swap
+	// whose cost and cache behavior a live retrain-to-rollback cycle
+	// pays. One untimed alternation first primes both generation hashes.
+	var abuf bytes.Buffer
+	if err := est.Save(&abuf); err != nil {
+		return nil, err
+	}
+	twin, err := qcfe.LoadEstimator(&abuf)
+	if err != nil {
+		return nil, err
+	}
+	pair := [2]*qcfe.CostEstimator{est, twin}
+	srv.SwapEstimator(qcfe.SwapEstimator(est, twin))
+	srv.SwapEstimator(qcfe.SwapEstimator(twin, est))
+	swapIdx := 0
+	rows = append(rows, run(ServeSwap, 1, func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			old, next := pair[swapIdx&1], pair[1-swapIdx&1]
+			srv.SwapEstimator(qcfe.SwapEstimator(old, next))
+			swapIdx++
+		}
+	}))
+	// Land on the twin so the post-swap row runs on the swapped-in
+	// estimator, then re-measure warm serving: the prediction tier was
+	// warmed under est's generation, which equals the twin's.
+	if srv.Estimator() != serve.Estimator(twin) {
+		srv.SwapEstimator(qcfe.SwapEstimator(est, twin))
+	}
+	rows = append(rows, concurrent(ServeWarmPostSwap))
 	return rows, nil
+}
+
+// PostSwapWarmSpeedup returns how many times faster a warm served
+// estimate is than an uncached coalesced one *after* an estimator hot
+// swap — the proof the swap kept the cache warm, gated in CI alongside
+// WarmServeSpeedup.
+func PostSwapWarmSpeedup(rows []Row) (float64, error) {
+	return Speedup(rows, ServeCoalesced, ServeWarmPostSwap)
 }
 
 // WarmServeSpeedup returns how many times faster a warm served estimate

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// RetrainCtx is the windowed retraining entry point behind online
+// adaptation (internal/online): it continues training res's model in
+// place on a sliding window of recently labeled queries. The featurizer
+// — snapshots and reduction mask — is deliberately left untouched: the
+// window is far too small to refit either, and keeping the feature
+// layout frozen is what lets an adapted model keep serving through the
+// same encoding (and lets Save/Load round-trip it unchanged).
+//
+// Training starts from the model's current weights with a fresh
+// optimizer (matching the Save/Load contract: optimizer state is not
+// part of an estimator's identity). ctx is checked between minibatches,
+// so a cancelled retrain stops at an optimizer-step boundary and
+// returns ctx's error; the weights then hold the last completed step —
+// callers adapting a *copy* of a serving model (the hot-swap protocol)
+// simply discard it.
+func RetrainCtx(ctx context.Context, res *Result, window []workload.Sample, iters int) error {
+	if res == nil || res.Model == nil {
+		return fmt.Errorf("core: retrain needs a trained result")
+	}
+	if len(window) == 0 {
+		return fmt.Errorf("core: retrain requires a non-empty window (got 0 samples)")
+	}
+	if iters <= 0 {
+		return fmt.Errorf("core: retrain iterations must be positive (got %d)", iters)
+	}
+	plans, ms := workload.PlansAndLabels(window)
+	dt, err := res.Model.TrainCtx(ctx, plans, ms, iters)
+	res.TrainTime += dt
+	if err != nil {
+		return fmt.Errorf("core: retrain cancelled after %v: %w", dt, err)
+	}
+	return nil
+}

@@ -37,6 +37,23 @@ type BatchResponse struct {
 	Ms []float64 `json:"ms"`
 }
 
+// ShadowRequest is the /shadow body: a query plus the latency the
+// client actually observed for it — opportunistic ground truth.
+type ShadowRequest struct {
+	Env      int     `json:"env"`
+	SQL      string  `json:"sql"`
+	ActualMs float64 `json:"actual_ms"`
+}
+
+// ShadowResponse is the /shadow reply: the live model's estimate
+// scored against the client's observation. Recorded reports whether a
+// drift monitor consumed the label.
+type ShadowResponse struct {
+	Ms       float64 `json:"ms"`
+	QError   float64 `json:"q_error"`
+	Recorded bool    `json:"recorded"`
+}
+
 // healthResponse is the /healthz reply.
 type healthResponse struct {
 	Status    string  `json:"status"`
@@ -48,12 +65,15 @@ type healthResponse struct {
 
 // statsResponse is the /stats reply. Cache is present only when the
 // estimator has a query cache attached; its per-tier hit/miss/size
-// counters come straight from internal/qcache.
+// counters come straight from internal/qcache. Drift is present only
+// when a drift monitor is attached (qcfe-serve -adapt) and carries
+// internal/online's rolling q-error and retrain/swap counters.
 type statsResponse struct {
 	Stats
 	MaxBatch      int              `json:"max_batch"`
 	BatchWindowMs float64          `json:"batch_window_ms"`
 	Cache         *qcfe.CacheStats `json:"cache,omitempty"`
+	Drift         any              `json:"drift,omitempty"`
 }
 
 // errorResponse is every error reply.
@@ -65,13 +85,16 @@ type errorResponse struct {
 //
 //	POST /estimate        {"env":0,"sql":"..."}        → {"ms":1.23}
 //	POST /estimate_batch  {"env":0,"sqls":["...",...]} → {"ms":[...]}
+//	POST /shadow          {"env":0,"sql":"...","actual_ms":1.2} → {"ms":..,"q_error":..}
 //	GET  /healthz                                      → status + model identity
 //	GET  /stats                                        → serving counters
 //
 // Single estimates coalesce with concurrent requests into micro-batches;
 // batch estimates run directly through the batched inference path. Both
 // carry the request's context, so a disconnecting client cancels its
-// planning fan-out.
+// planning fan-out. Shadow requests score the live model against
+// client-observed ground truth and feed the drift monitor when online
+// adaptation is enabled.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
@@ -101,15 +124,46 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, BatchResponse{Ms: ms})
 	})
+	mux.HandleFunc("/shadow", func(w http.ResponseWriter, r *http.Request) {
+		var req ShadowRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if req.ActualMs <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("actual_ms must be positive"))
+			return
+		}
+		env, err := s.EnvByID(req.Env)
+		if err != nil {
+			s.errors.Add(1)
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Score against the live model directly (no coalescing: shadow
+		// traffic is observability, not latency-sensitive serving).
+		est := s.Estimator()
+		ms, err := est.EstimateSQL(env, req.SQL)
+		if err != nil {
+			s.errors.Add(1)
+			writeError(w, statusFor(err), err)
+			return
+		}
+		resp := ShadowResponse{Ms: ms, QError: qcfe.QError(req.ActualMs, ms)}
+		if s.monitor != nil {
+			resp.Recorded = s.monitor.ObserveLabeled(env, req.SQL, ms, req.ActualMs, est)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !requireGet(w, r) {
 			return
 		}
+		est := s.Estimator()
 		writeJSON(w, http.StatusOK, healthResponse{
 			Status:    "ok",
-			Model:     s.est.ModelName(),
-			Benchmark: s.est.BenchmarkName(),
-			Envs:      len(s.est.Environments()),
+			Model:     est.ModelName(),
+			Benchmark: est.BenchmarkName(),
+			Envs:      len(est.Environments()),
 			UptimeS:   s.Uptime().Seconds(),
 		})
 	})
@@ -122,8 +176,11 @@ func (s *Server) Handler() http.Handler {
 			MaxBatch:      s.opts.MaxBatch,
 			BatchWindowMs: float64(s.opts.BatchWindow.Milliseconds()),
 		}
-		if cs, ok := s.est.CacheStats(); ok {
+		if cs, ok := s.Estimator().CacheStats(); ok {
 			resp.Cache = &cs
+		}
+		if s.monitor != nil {
+			resp.Drift = s.monitor.DriftStats()
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})

@@ -13,6 +13,13 @@
 // shape, never results. This is what turns the estimator stack's batched
 // kernels into serving throughput: N concurrent clients cost ~1 batched
 // inference pass instead of N scalar ones.
+//
+// The estimator behind the server is hot-swappable: SwapEstimator is a
+// single atomic pointer store, every request path snapshots the
+// estimator exactly once at its own start, and the query cache's
+// generation stamping (internal/qcache) makes the swap cache-safe —
+// together they let internal/online install a retrained model under
+// live traffic with no lock, no drain, and no torn or stale answers.
 package serve
 
 import (
@@ -42,6 +49,25 @@ type Estimator interface {
 	// CacheStats snapshots the attached query cache's counters; ok is
 	// false when no cache is attached.
 	CacheStats() (qcfe.CacheStats, bool)
+}
+
+// Monitor observes served traffic for online adaptation
+// (internal/online implements it). The server calls Observe after
+// every successfully served estimate — cache hits included — and
+// ObserveLabeled when a client supplies ground truth through the
+// /shadow endpoint; its return reports whether the label was actually
+// accepted (a load-shedding monitor may drop it), and /shadow echoes
+// that as "recorded". producer is the estimator snapshot that computed
+// the prediction (the server always observes from the site that holds
+// the snapshot), so a monitor scoring prediction quality can tell a
+// still-current model's estimate from one produced by an already
+// swapped-out model. Both methods must be cheap and non-blocking: they
+// run on the request path. DriftStats is marshaled into the /stats
+// "drift" block.
+type Monitor interface {
+	Observe(env *qcfe.Environment, sql string, predictedMs float64, producer any)
+	ObserveLabeled(env *qcfe.Environment, sql string, predictedMs, actualMs float64, producer any) bool
+	DriftStats() any
 }
 
 // Options configures the serving behavior.
@@ -90,6 +116,8 @@ type Stats struct {
 	// query cache's prediction tier — they skip the coalescing queue
 	// (and its BatchWindow) entirely.
 	CacheHits int64 `json:"cache_hits"`
+	// Swaps counts estimator hot swaps installed via SwapEstimator.
+	Swaps int64 `json:"swaps"`
 	// Errors counts requests that returned an error.
 	Errors int64 `json:"errors"`
 	// MeanBatch is (Requests-CacheHits)/Flushes — the average micro-batch
@@ -110,33 +138,67 @@ type request struct {
 	reply chan result
 }
 
+// estBox wraps the current estimator behind one pointer so a hot swap
+// is a single atomic store (atomic.Pointer cannot hold an interface
+// directly).
+type estBox struct{ est Estimator }
+
 // Server is a concurrency-safe serving front end over one estimator.
 // Construct with New, start the batcher with Run, and serve traffic
-// through Estimate/EstimateBatch or the HTTP handler.
+// through Estimate/EstimateBatch or the HTTP handler. The estimator
+// can be replaced at any time with SwapEstimator; every request works
+// against the snapshot it loaded at its own start, so a swap is
+// invisible to in-flight work.
 type Server struct {
-	est   Estimator
-	opts  Options
-	queue chan *request
-	start time.Time
+	cur     atomic.Pointer[estBox]
+	opts    Options
+	queue   chan *request
+	start   time.Time
+	monitor Monitor // set during setup, read-only while serving
 
 	requests      atomic.Int64
 	batchRequests atomic.Int64
 	flushes       atomic.Int64
 	coalesced     atomic.Int64
 	cacheHits     atomic.Int64
+	swaps         atomic.Int64
 	errors        atomic.Int64
 }
 
 // New builds a server over a loaded estimator.
 func New(est Estimator, opts Options) *Server {
 	o := opts.withDefaults()
-	return &Server{
-		est:   est,
+	s := &Server{
 		opts:  o,
 		queue: make(chan *request, o.QueueDepth),
 		start: time.Now(),
 	}
+	s.cur.Store(&estBox{est: est})
+	return s
 }
+
+// Estimator returns the currently installed estimator. Request paths
+// load it exactly once and use that snapshot throughout, so every
+// reply is computed wholly by one model — the no-torn-reads half of
+// the hot-swap contract.
+func (s *Server) Estimator() Estimator { return s.cur.Load().est }
+
+// SwapEstimator atomically installs next as the serving estimator:
+// requests that already snapshotted the old estimator finish on it,
+// requests arriving after the store see only next. There is no lock
+// and no drain — the swap is one pointer store. Callers retraining
+// with a query cache attached run qcfe.SwapEstimator(old, next) first,
+// which moves the cache to next's generation so the swap is also
+// cache-safe (stale entries become invisible in the same instant).
+func (s *Server) SwapEstimator(next Estimator) {
+	s.cur.Store(&estBox{est: next})
+	s.swaps.Add(1)
+}
+
+// SetMonitor attaches a drift monitor. Call during setup, before
+// serving traffic — the field is read without synchronization by
+// concurrent requests.
+func (s *Server) SetMonitor(m Monitor) { s.monitor = m }
 
 // Run drains the coalescing queue until ctx is cancelled, then fails any
 // still-pending requests with ctx's error and returns it. It is the
@@ -199,6 +261,9 @@ func (s *Server) gather(ctx context.Context, first *request) []*request {
 // per-request estimation so errors stay isolated to the requests that
 // caused them.
 func (s *Server) flush(ctx context.Context, batch []*request) {
+	// One estimator snapshot per flush: every reply in this micro-batch
+	// is computed wholly by one model, even if a hot swap lands mid-way.
+	est := s.Estimator()
 	s.flushes.Add(1)
 	if len(batch) > 1 {
 		s.coalesced.Add(int64(len(batch)))
@@ -220,9 +285,10 @@ func (s *Server) flush(ctx context.Context, batch []*request) {
 		for i, r := range group {
 			sqls[i] = r.sql
 		}
-		ms, err := s.est.EstimateSQLBatchCtx(ctx, group[0].env, sqls)
+		ms, err := est.EstimateSQLBatchCtx(ctx, group[0].env, sqls)
 		if err == nil {
 			for i, r := range group {
+				s.observe(est, r.env, r.sql, ms[i])
 				r.reply <- result{ms: ms[i]}
 			}
 			continue
@@ -238,9 +304,11 @@ func (s *Server) flush(ctx context.Context, batch []*request) {
 		}
 		// Isolate the failure: price each request alone.
 		for _, r := range group {
-			v, rerr := s.est.EstimateSQL(r.env, r.sql)
+			v, rerr := est.EstimateSQL(r.env, r.sql)
 			if rerr != nil {
 				s.errors.Add(1)
+			} else {
+				s.observe(est, r.env, r.sql, v)
 			}
 			r.reply <- result{ms: v, err: rerr}
 		}
@@ -262,12 +330,13 @@ func (s *Server) drainFailed(err error) {
 
 // EnvByID resolves an environment from the estimator's trained set.
 func (s *Server) EnvByID(id int) (*qcfe.Environment, error) {
-	for _, env := range s.est.Environments() {
+	envs := s.Estimator().Environments()
+	for _, env := range envs {
 		if env.ID == id {
 			return env, nil
 		}
 	}
-	return nil, fmt.Errorf("serve: unknown environment %d (artifact has %d environments)", id, len(s.est.Environments()))
+	return nil, fmt.Errorf("serve: unknown environment %d (artifact has %d environments)", id, len(envs))
 }
 
 // Estimate prices one query under the environment with the given ID,
@@ -284,8 +353,12 @@ func (s *Server) Estimate(ctx context.Context, envID int, sql string) (float64, 
 	// A warm prediction-tier hit is deterministic and already known:
 	// answer straight away instead of paying the BatchWindow wait in
 	// gather. Misses (and cacheless estimators) coalesce as before.
-	if ms, ok := s.est.CachedEstimate(env, sql); ok {
+	// (Coalesced requests are observed inside flush, which holds the
+	// estimator snapshot that actually priced them.)
+	est := s.Estimator()
+	if ms, ok := est.CachedEstimate(env, sql); ok {
 		s.cacheHits.Add(1)
+		s.observe(est, env, sql, ms)
 		return ms, nil
 	}
 	r := &request{env: env, sql: sql, reply: make(chan result, 1)}
@@ -306,6 +379,14 @@ func (s *Server) Estimate(ctx context.Context, envID int, sql string) (float64, 
 	}
 }
 
+// observe feeds a served estimate to the drift monitor, when one is
+// attached, naming the estimator snapshot that produced it.
+func (s *Server) observe(est Estimator, env *qcfe.Environment, sql string, ms float64) {
+	if s.monitor != nil {
+		s.monitor.Observe(env, sql, ms, est)
+	}
+}
+
 // EstimateBatch prices a client-assembled batch directly through the
 // estimator's batched path (no re-coalescing).
 func (s *Server) EstimateBatch(ctx context.Context, envID int, sqls []string) ([]float64, error) {
@@ -315,10 +396,14 @@ func (s *Server) EstimateBatch(ctx context.Context, envID int, sqls []string) ([
 		return nil, err
 	}
 	s.batchRequests.Add(int64(len(sqls)))
-	ms, err := s.est.EstimateSQLBatchCtx(ctx, env, sqls)
+	est := s.Estimator()
+	ms, err := est.EstimateSQLBatchCtx(ctx, env, sqls)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, err
+	}
+	for i := range sqls {
+		s.observe(est, env, sqls[i], ms[i])
 	}
 	return ms, nil
 }
@@ -331,6 +416,7 @@ func (s *Server) Stats() Stats {
 		Flushes:       s.flushes.Load(),
 		Coalesced:     s.coalesced.Load(),
 		CacheHits:     s.cacheHits.Load(),
+		Swaps:         s.swaps.Load(),
 		Errors:        s.errors.Load(),
 	}
 	if st.Flushes > 0 {

@@ -116,7 +116,12 @@ var aggFuncs = map[string]bool{"count": true, "sum": true, "avg": true, "min": t
 
 // spaceBetween decides canonical spacing: none around '.', none before
 // ',', ')' and ';', none after '(', none between a function keyword and
-// its '('.
+// its '('. One exception keeps templates unambiguous: a number keeps
+// its space before a following '.' — fused, the placeholder's literal
+// would re-lex into the dot as one float ("0 ." vs "0."), so the
+// template would not be a fixed point of normalization. Qualified
+// names (ident '.' ident), the only '.' the grammar produces, stay
+// tight.
 func spaceBetween(prev, cur token) bool {
 	if prev.kind == tokPunct && (prev.text == "." || prev.text == "(") {
 		return false
@@ -124,7 +129,7 @@ func spaceBetween(prev, cur token) bool {
 	if cur.kind == tokPunct {
 		switch cur.text {
 		case ".", ",", ")", ";":
-			return false
+			return cur.text == "." && prev.kind == tokNumber
 		case "(":
 			return !(prev.kind == tokIdent && aggFuncs[strings.ToLower(prev.text)])
 		}

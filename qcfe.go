@@ -20,11 +20,13 @@
 package qcfe
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -124,6 +126,15 @@ func planParsed(ds *datagen.Dataset, env *Environment, sql string) (*planner.Nod
 	}
 	node.Walk(func(n *planner.Node) { n.EnvID = env.ID })
 	return node, q, nil
+}
+
+// Plan parses and plans one SQL query under an environment without
+// executing it, returning the annotated physical plan. The online
+// adaptation loop uses it to turn a client-labeled query (latency
+// observed elsewhere) into a training sample without paying an engine
+// execution.
+func (b *Benchmark) Plan(env *Environment, sql string) (*planner.Node, error) {
+	return planAnnotated(b.ds, env, sql)
 }
 
 // Execute plans and runs one SQL query under an environment.
@@ -250,9 +261,11 @@ type CostEstimator struct {
 	cfg   core.Config
 
 	// cache, when attached, accelerates the SQL estimate paths; nil means
-	// every call runs the full front half. Attach during setup — the
-	// field is read without synchronization by concurrent estimates.
-	cache   *qcache.QueryCache
+	// every call runs the full front half. The pointer is atomic because
+	// the hot-swap protocol (SwapEstimator) attaches a cache to an
+	// estimator that may still be draining in-flight estimates; each
+	// estimate path loads it once and uses that snapshot throughout.
+	cache   atomic.Pointer[qcache.QueryCache]
 	genOnce sync.Once
 	gen     uint64
 }
@@ -306,19 +319,20 @@ func (e *CostEstimator) EstimateBatch(plans []*planner.Node) []float64 {
 // does).
 func (e *CostEstimator) AttachCache(c *qcache.QueryCache) {
 	c.SetGeneration(e.cacheGeneration())
-	e.cache = c
+	e.cache.Store(c)
 }
 
 // Cache returns the attached query cache (nil when none).
-func (e *CostEstimator) Cache() *qcache.QueryCache { return e.cache }
+func (e *CostEstimator) Cache() *qcache.QueryCache { return e.cache.Load() }
 
 // CacheStats snapshots the attached cache's counters; ok is false when
 // no cache is attached.
 func (e *CostEstimator) CacheStats() (CacheStats, bool) {
-	if e.cache == nil {
+	c := e.cache.Load()
+	if c == nil {
 		return CacheStats{}, false
 	}
-	return e.cache.Stats(), true
+	return c.Stats(), true
 }
 
 // cacheGeneration derives the estimator's cache generation stamp by
@@ -344,10 +358,11 @@ func (e *CostEstimator) cacheGeneration() uint64 {
 // without doing any work. The serving layer probes this before paying
 // the coalescing queue's batching latency.
 func (e *CostEstimator) CachedEstimate(env *Environment, sql string) (float64, bool) {
-	if e.cache == nil {
+	c := e.cache.Load()
+	if c == nil {
 		return 0, false
 	}
-	return e.cache.GetPrediction(qcache.PredictionKey(env.ID, sql), e.cacheGeneration())
+	return c.GetPrediction(qcache.PredictionKey(env.ID, sql), e.cacheGeneration())
 }
 
 // EstimateSQL plans a query under env and predicts its cost without
@@ -355,7 +370,8 @@ func (e *CostEstimator) CachedEstimate(env *Environment, sql string) (float64, b
 // prediction tier and template/literal variants skip the front-half
 // stages their tiers cover; results are bit-identical either way.
 func (e *CostEstimator) EstimateSQL(env *Environment, sql string) (float64, error) {
-	if e.cache == nil {
+	c := e.cache.Load()
+	if c == nil {
 		node, err := planAnnotated(e.bench.ds, env, sql)
 		if err != nil {
 			return 0, err
@@ -364,15 +380,15 @@ func (e *CostEstimator) EstimateSQL(env *Environment, sql string) (float64, erro
 	}
 	g := e.cacheGeneration()
 	pkey := qcache.PredictionKey(env.ID, sql)
-	if ms, ok := e.cache.GetPrediction(pkey, g); ok {
+	if ms, ok := c.GetPrediction(pkey, g); ok {
 		return ms, nil
 	}
-	fp, err := e.featurizedPlan(g, env, sql)
+	fp, err := e.featurizedPlan(c, g, env, sql)
 	if err != nil {
 		return 0, err
 	}
 	ms := e.res.Model.PredictFeaturizedBatch([]*encoding.FeaturizedPlan{fp})[0]
-	e.cache.PutPrediction(pkey, g, ms)
+	c.PutPrediction(pkey, g, ms)
 	return ms, nil
 }
 
@@ -384,8 +400,10 @@ func (e *CostEstimator) EstimateSQL(env *Environment, sql string) (float64, erro
 // parse→resolve→plan→featurize pipeline, populating the tiers on the
 // way out. Any hiccup on a cached path (literal mismatch, plan error)
 // falls back to the full pipeline so errors and results are exactly the
-// uncached ones.
-func (e *CostEstimator) featurizedPlan(g uint64, env *Environment, sql string) (*encoding.FeaturizedPlan, error) {
+// uncached ones. The caller passes its own (cache, generation)
+// snapshot so one request stays internally consistent across a
+// concurrent swap.
+func (e *CostEstimator) featurizedPlan(c *qcache.QueryCache, g uint64, env *Environment, sql string) (*encoding.FeaturizedPlan, error) {
 	fpr, lits, ferr := sqlparse.Fingerprint(sql)
 	if ferr != nil {
 		// Unlexable text: let the ordinary path produce the
@@ -397,12 +415,12 @@ func (e *CostEstimator) featurizedPlan(g uint64, env *Environment, sql string) (
 		return e.featurize(node), nil
 	}
 	fkey := qcache.FeatureKey(env.ID, fpr, sqlparse.Signature(lits))
-	if fp, ok := e.cache.GetFeatures(fkey, g); ok {
+	if fp, ok := c.GetFeatures(fkey, g); ok {
 		return fp, nil
 	}
 	tkey := qcache.TemplateKey(env.ID, fpr)
 	var node *planner.Node
-	if skel, ok := e.cache.GetTemplate(tkey, g); ok {
+	if skel, ok := c.GetTemplate(tkey, g); ok {
 		node = e.planFromSkeleton(skel, lits, env)
 	}
 	if node == nil {
@@ -415,10 +433,10 @@ func (e *CostEstimator) featurizedPlan(g uint64, env *Environment, sql string) (
 		// Freeze the now-resolved skeleton for future literal variants.
 		// (Its literal values are the ones just planned; every hit
 		// overwrites them via BindLiterals before planning.)
-		e.cache.PutTemplate(tkey, g, q.Clone())
+		c.PutTemplate(tkey, g, q.Clone())
 	}
 	fp := e.featurize(node)
-	e.cache.PutFeatures(fkey, g, fp)
+	c.PutFeatures(fkey, g, fp)
 	return fp, nil
 }
 
@@ -469,7 +487,8 @@ func (e *CostEstimator) EstimateSQLBatch(env *Environment, sqls []string) ([]flo
 // so are errors: a query that fails to parse or plan is never cached, so
 // the lowest-index failure wins exactly as in the plain fan-out.
 func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environment, sqls []string) ([]float64, error) {
-	if e.cache == nil {
+	c := e.cache.Load()
+	if c == nil {
 		nodes, err := parallel.MapCtx(ctx, len(sqls), 0, func(i int) (*planner.Node, error) {
 			return planAnnotated(e.bench.ds, env, sqls[i])
 		})
@@ -488,7 +507,7 @@ func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environmen
 	res := make([]float64, len(sqls))
 	miss := make([]int, 0, len(sqls))
 	for i, sql := range sqls {
-		if ms, ok := e.cache.GetPrediction(qcache.PredictionKey(env.ID, sql), g); ok {
+		if ms, ok := c.GetPrediction(qcache.PredictionKey(env.ID, sql), g); ok {
 			res[i] = ms
 		} else {
 			miss = append(miss, i)
@@ -498,7 +517,7 @@ func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environmen
 		return res, nil
 	}
 	fps, err := parallel.MapCtx(ctx, len(miss), 0, func(k int) (*encoding.FeaturizedPlan, error) {
-		return e.featurizedPlan(g, env, sqls[miss[k]])
+		return e.featurizedPlan(c, g, env, sqls[miss[k]])
 	})
 	if err != nil {
 		return nil, err
@@ -506,7 +525,7 @@ func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environmen
 	ms := e.res.Model.PredictFeaturizedBatch(fps)
 	for k, i := range miss {
 		res[i] = ms[k]
-		e.cache.PutPrediction(qcache.PredictionKey(env.ID, sqls[i]), g, ms[k])
+		c.PutPrediction(qcache.PredictionKey(env.ID, sqls[i]), g, ms[k])
 	}
 	return res, nil
 }
@@ -570,6 +589,63 @@ func LoadEstimator(r io.Reader) (*CostEstimator, error) {
 		envs:  a.Envs,
 		cfg:   a.Cfg,
 	}, nil
+}
+
+// Adapt incrementally retrains the estimator on a sliding window of
+// recently labeled queries and returns the adapted estimator as a NEW
+// object; the receiver is never mutated and keeps serving unchanged.
+// This is the model half of the online-adaptation hot swap
+// (internal/online): retrain a copy off to the side, then install it
+// atomically with SwapEstimator + serve.Server.SwapEstimator.
+func (e *CostEstimator) Adapt(window []workload.Sample, iters int) (*CostEstimator, error) {
+	return e.AdaptCtx(context.Background(), window, iters)
+}
+
+// AdaptCtx is Adapt with cooperative cancellation (checked between
+// training minibatches). The copy is made through the artifact codec —
+// a Save→Load round trip — so the adapted estimator shares no mutable
+// state with the serving one, training starts from exactly the served
+// weights, and the adapted estimator is itself Save-able: its artifact
+// hash (the cache generation) reflects the new weights, which is what
+// makes the swap invalidate the query cache without any locking. A
+// cancelled adapt returns ctx's error and no estimator; the receiver is
+// untouched either way.
+func (e *CostEstimator) AdaptCtx(ctx context.Context, window []workload.Sample, iters int) (*CostEstimator, error) {
+	if len(window) == 0 {
+		return nil, fmt.Errorf("qcfe: Adapt requires a non-empty window of labeled samples")
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		return nil, fmt.Errorf("qcfe: adapt: snapshot serving model: %w", err)
+	}
+	next, err := LoadEstimator(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("qcfe: adapt: clone serving model: %w", err)
+	}
+	if err := core.RetrainCtx(ctx, next.res, window, iters); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// SwapEstimator performs the cache half of a hot swap: it hands old's
+// attached query cache (if any) over to next — an AttachCache, which
+// atomically moves the cache to next's generation so every entry the
+// old estimator produced becomes logically invisible in one store —
+// and returns next for chaining into the serving swap. When the two
+// estimators are byte-identical (a Save→Load of the same artifact)
+// their generations coincide and the cache stays warm across the swap;
+// when next was retrained, the generation differs and the cache is
+// cold for it, exactly as served predictions require. old may keep
+// serving in-flight requests safely: its stamps can neither read nor
+// pollute next's entries.
+func SwapEstimator(old, next *CostEstimator) *CostEstimator {
+	if old != nil {
+		if c := old.cache.Load(); c != nil {
+			next.AttachCache(c)
+		}
+	}
+	return next
 }
 
 // ReductionRatio returns the fraction of features pruned (0 when
