@@ -16,11 +16,12 @@
 //
 // With -micro the command instead runs the estimator-stack
 // microbenchmarks (train iters/sec, predictions/sec, batched vs scalar,
-// serve-throughput, query-cache hit/miss, estimator hot-swap latency)
-// on the quick grid and writes the machine-readable BENCH_PR5.json
-// rows. This is the CI benchmark-regression pipeline:
+// serve-throughput, query-cache hit/miss, estimator hot-swap latency,
+// routed fleet fan-out) on the quick grid and writes the
+// machine-readable BENCH_PR6.json rows. This is the CI
+// benchmark-regression pipeline:
 //
-//	qcfe-bench -micro -out BENCH_PR5.json -baseline BENCH_PR5.json
+//	qcfe-bench -micro -out BENCH_PR6.json -baseline BENCH_PR6.json
 //
 // exits non-zero when a gated predictions/sec row regresses more than
 // -tolerance against the (machine-normalized) baseline, when the batched
@@ -30,7 +31,10 @@
 // serve/estimate-coalesced row from the same run — both before
 // (serve/estimate-warm) and after (serve/estimate-warm-postswap) an
 // estimator hot swap, so a swap that silently chilled the cache fails
-// the gate.
+// the gate. The routed path carries the same floor: router/estimate-warm
+// and router/estimate-warm-postrollout (warm again after a full canary
+// rollout) must each beat the uncached router/fanout-batch row of the
+// same run.
 //
 // With -save the command instead trains one pipeline and writes the
 // estimator as a persistent artifact; with -load it reads an artifact
@@ -62,9 +66,9 @@ func main() {
 	benchmark := flag.String("benchmark", "", "benchmark: tpch|sysbench|imdb (default: all applicable; -save/-load default: sysbench)")
 	size := flag.String("size", "med", "grid size: quick|med|full")
 	workers := flag.Int("workers", 0, "per-fan-out worker cap for parallel labeling and experiments; nested stages each use up to this many goroutines (0 = GOMAXPROCS)")
-	micro := flag.Bool("micro", false, "run the estimator microbenchmarks and emit BENCH_PR5.json rows instead of the experiment suite")
-	out := flag.String("out", "BENCH_PR5.json", "with -micro: output path for the benchmark rows")
-	baseline := flag.String("baseline", "", "with -micro: baseline BENCH_PR5.json to gate against (empty = no gate)")
+	micro := flag.Bool("micro", false, "run the estimator microbenchmarks and emit BENCH_PR6.json rows instead of the experiment suite")
+	out := flag.String("out", "BENCH_PR6.json", "with -micro: output path for the benchmark rows")
+	baseline := flag.String("baseline", "", "with -micro: baseline BENCH_PR6.json to gate against (empty = no gate)")
 	tolerance := flag.Float64("tolerance", 0.20, "with -micro -baseline: maximum allowed predictions/sec regression")
 	minSpeedup := flag.Float64("min-train-speedup", 1.7, "with -micro: minimum batched/scalar training-iteration speedup on the mscn pair (0 disables; ~2.1-2.3x measured, floor set below for run-to-run noise)")
 	minWarmSpeedup := flag.Float64("min-warm-speedup", 5.0, "with -micro: minimum warm cache-hit serving speedup over uncached coalesced serving, same-run rows so machine speed cancels (0 disables; orders of magnitude measured)")
@@ -281,6 +285,22 @@ func runMicro(out, baseline string, tolerance, minSpeedup, minWarmSpeedup float6
 	fmt.Printf("post-hot-swap warm-hit serving speedup: %.1fx\n", postSwap)
 	if minWarmSpeedup > 0 && postSwap < minWarmSpeedup {
 		return fmt.Errorf("post-swap warm-hit speedup %.1fx below required %.1fx — the hot swap chilled the cache", postSwap, minWarmSpeedup)
+	}
+	routed, err := bench.RouterWarmSpeedup(rows)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("routed warm-hit speedup (warm fleet vs uncached fan-out): %.1fx\n", routed)
+	if minWarmSpeedup > 0 && routed < minWarmSpeedup {
+		return fmt.Errorf("routed warm-hit speedup %.1fx below required %.1fx", routed, minWarmSpeedup)
+	}
+	postRollout, err := bench.PostRolloutWarmSpeedup(rows)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("post-rollout routed warm-hit speedup: %.1fx\n", postRollout)
+	if minWarmSpeedup > 0 && postRollout < minWarmSpeedup {
+		return fmt.Errorf("post-rollout routed warm-hit speedup %.1fx below required %.1fx — the rollout chilled the fleet's caches", postRollout, minWarmSpeedup)
 	}
 	if baseline != "" {
 		base, err := bench.ReadJSON(baseline)

@@ -12,8 +12,14 @@
 //
 //	POST /estimate        {"env":0,"sql":"SELECT ..."}  → {"ms":1.23}
 //	POST /estimate_batch  {"env":0,"sqls":["...",...]}  → {"ms":[...]}
-//	GET  /healthz                                       → model identity
+//	GET  /healthz                                       → model identity + artifact generation
 //	GET  /stats                                         → serving counters
+//	POST /swap            admin: stage/commit/rollback an artifact swap
+//	GET  /generation      admin: serving + staged artifact generations
+//
+// The admin endpoints exist for qcfe-router's canary-gated fleet
+// rollouts and are enabled by -admin-token (disabled with 403 when the
+// flag is empty); -advertise names this replica in /healthz.
 //
 // A sharded query-fingerprint cache (on by default; -cache=false
 // disables, -cache-shards/-cache-capacity size it) short-circuits warm
@@ -69,6 +75,8 @@ func main() {
 	retrainWindow := flag.Int("retrain-window", 256, "with -adapt: sliding window of recent labeled queries retraining uses")
 	retrainIters := flag.Int("retrain-iters", 60, "with -adapt: training iterations per incremental retrain")
 	labelEvery := flag.Int("label-every", 8, "with -adapt: replay every Nth served estimate through the engine for a ground-truth label (1 = label everything)")
+	adminToken := flag.String("admin-token", "", "enable the /swap and /generation admin endpoints, authenticated by this X-QCFE-Admin-Token value (empty = admin surface disabled); required for qcfe-router rollouts")
+	advertise := flag.String("advertise", "", "replica identity echoed in /healthz (e.g. this host's URL in a qcfe-router fleet)")
 	flag.Parse()
 
 	if *artifactPath == "" {
@@ -91,7 +99,13 @@ func main() {
 			LabelEvery:     *labelEvery,
 		}
 	}
-	if err := run(*artifactPath, *addr, serve.Options{MaxBatch: *maxBatch, BatchWindow: *batchWindow}, copts, aopts); err != nil {
+	sopts := serve.Options{
+		MaxBatch:    *maxBatch,
+		BatchWindow: *batchWindow,
+		AdminToken:  *adminToken,
+		Advertise:   *advertise,
+	}
+	if err := run(*artifactPath, *addr, sopts, copts, aopts); err != nil {
 		fmt.Fprintf(os.Stderr, "qcfe-serve: %v\n", err)
 		os.Exit(1)
 	}
@@ -115,6 +129,10 @@ func run(artifactPath, addr string, opts serve.Options, copts *qcfe.CacheOptions
 		st := c.Stats()
 		fmt.Printf("qcfe-serve: query cache on (%d shards, %d entries/tier, generation %x); /stats reports per-tier hits\n",
 			st.Shards, st.Capacity, st.Generation)
+	}
+
+	if opts.AdminToken != "" {
+		fmt.Println("qcfe-serve: admin endpoints on (/swap, /generation; authenticate with X-QCFE-Admin-Token)")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -21,9 +21,11 @@ package bench
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"strings"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/mscn"
 	"repro/internal/nn"
 	"repro/internal/qppnet"
+	"repro/internal/router"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -109,6 +112,27 @@ const (
 	// -min-warm-speedup floor as ServeWarm — a swap that silently chilled
 	// the cache would fail here.
 	ServeWarmPostSwap = "serve/estimate-warm-postswap"
+
+	// RouterFanout is the routed uncached anchor: one 128-query batch
+	// (fresh literals over four templates, so every query misses the
+	// feature and prediction tiers on its replica) scattered over a
+	// 3-replica fleet through internal/router and merged, measured per
+	// query. Real HTTP framing is included but amortized across the
+	// batch; replica-side planning and inference dominate.
+	RouterFanout = "router/fanout-batch"
+	// RouterWarm re-prices a fixed batch that is warm in every replica's
+	// prediction tier through the same routed path: scatter, per-replica
+	// cache hits, merge. The CI gate requires this to beat RouterFanout
+	// by the -min-warm-speedup factor (same-run rows, machine speed
+	// cancels) — the proof that fingerprint routing keeps the fleet's
+	// cache tiers effective through the extra hop.
+	RouterWarm = "router/estimate-warm"
+	// RouterWarmPostRollout re-measures RouterWarm immediately after a
+	// full canary rollout to a byte-identical artifact: generations
+	// coincide on every replica, so the fleet's prediction tiers must
+	// still hit. Gated at the same -min-warm-speedup floor — a rollout
+	// that silently chilled the fleet's caches fails here.
+	RouterWarmPostRollout = "router/estimate-warm-postrollout"
 )
 
 // Gated lists the rows the CI gate checks for predictions/sec regressions:
@@ -233,11 +257,17 @@ func Run() ([]Row, error) {
 		}
 	}))
 
-	serveRows, err := benchServe(envs, lab.Samples)
+	serveRows, artifact, err := benchServe(envs, lab.Samples)
 	if err != nil {
 		return nil, fmt.Errorf("bench: serve: %w", err)
 	}
 	rows = append(rows, serveRows...)
+
+	routerRows, err := benchRouter(artifact, envs[0].ID)
+	if err != nil {
+		return nil, fmt.Errorf("bench: router: %w", err)
+	}
+	rows = append(rows, routerRows...)
 	return rows, nil
 }
 
@@ -249,10 +279,10 @@ func Run() ([]Row, error) {
 // re-runs the concurrent serving loop with every query warm in the
 // prediction tier (the short-circuit before the queue). ns_per_op is per
 // served request / estimate.
-func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, error) {
+func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, []byte, error) {
 	b, err := qcfe.OpenBenchmark("tpch", 1) // cached: same dataset the grid built
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Train cheaply: serving throughput is inference-bound, so reduction
 	// is disabled and the iteration budget kept small.
@@ -260,7 +290,7 @@ func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, er
 		qcfe.WithTrainIters(30), qcfe.WithReduction("none"), qcfe.WithSeed(1),
 	).Fit(b, envs, samples)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	srv := serve.New(est, serve.Options{MaxBatch: 64, BatchWindow: time.Millisecond})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -298,7 +328,7 @@ func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, er
 	env := envs[0]
 	hot := sqls[0]
 	if _, err := est.EstimateSQL(env, hot); err != nil { // prime
-		return nil, err
+		return nil, nil, err
 	}
 	rows = append(rows, run(QCacheHit, 1, func(tb *testing.B) {
 		tb.ReportAllocs()
@@ -328,7 +358,7 @@ func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, er
 	// loop: every request short-circuits at the prediction tier.
 	for c := 0; c < conc; c++ {
 		if _, err := est.EstimateSQL(envs[c%len(envs)], sqls[c]); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	rows = append(rows, concurrent(ServeWarm))
@@ -339,11 +369,12 @@ func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, er
 	// pays. One untimed alternation first primes both generation hashes.
 	var abuf bytes.Buffer
 	if err := est.Save(&abuf); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	artifact := append([]byte(nil), abuf.Bytes()...) // benchRouter boots its fleet from the same bytes
 	twin, err := qcfe.LoadEstimator(&abuf)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pair := [2]*qcfe.CostEstimator{est, twin}
 	srv.SwapEstimator(qcfe.SwapEstimator(est, twin))
@@ -364,6 +395,106 @@ func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, er
 		srv.SwapEstimator(qcfe.SwapEstimator(est, twin))
 	}
 	rows = append(rows, concurrent(ServeWarmPostSwap))
+	return rows, artifact, nil
+}
+
+// benchRouter measures the distributed serving path: three replicas
+// booted from the same artifact bytes (each with its own query cache),
+// fronted by an internal/router fleet over real HTTP. The fanout row is
+// the uncached anchor (fresh literals, so replicas re-plan and re-infer
+// every query); the warm rows re-price a fixed batch that hits every
+// replica's prediction tier — before and, via a full canary rollout to
+// a byte-identical artifact, after a fleet-wide generation change.
+// ns_per_op is per routed query.
+func benchRouter(artifact []byte, envID int) ([]Row, error) {
+	const token = "bench-admin-token"
+	const replicas = 3
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	urls := make([]string, replicas)
+	for i := 0; i < replicas; i++ {
+		est, err := qcfe.LoadEstimator(bytes.NewReader(artifact))
+		if err != nil {
+			return nil, err
+		}
+		est.AttachCache(qcfe.NewQueryCache(qcfe.CacheOptions{}))
+		srv := serve.New(est, serve.Options{
+			MaxBatch:    64,
+			BatchWindow: time.Millisecond,
+			AdminToken:  token,
+			Advertise:   fmt.Sprintf("bench-replica-%d", i),
+		})
+		go srv.Run(ctx)
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	rt, err := router.New(urls, router.Options{AdminToken: token})
+	if err != nil {
+		return nil, err
+	}
+
+	// Four templates spread the batch across the ring; the literal picks
+	// cache temperature: fresh per op for the fanout row, fixed for warm.
+	templates := [...]string{
+		"SELECT COUNT(*) FROM lineitem WHERE l_quantity < %d",
+		"SELECT COUNT(*) FROM orders WHERE o_totalprice < %d",
+		"SELECT COUNT(*) FROM customer WHERE c_acctbal < %d",
+		"SELECT COUNT(*) FROM part WHERE p_retailprice < %d",
+	}
+	const batchN = 128
+	batch := func(name string, fill func(i int) []string) Row {
+		op := 0
+		return run(name, batchN, func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				op++
+				ms, err := rt.EstimateBatch(ctx, envID, fill(op))
+				if err != nil {
+					panic(fmt.Sprintf("bench: routed batch: %v", err))
+				}
+				sink = ms[0]
+			}
+		})
+	}
+
+	fresh := make([]string, batchN)
+	ctr := 0
+	rows := []Row{batch(RouterFanout, func(int) []string {
+		for j := range fresh {
+			ctr++
+			fresh[j] = fmt.Sprintf(templates[j%len(templates)], 100000+ctr)
+		}
+		return fresh
+	})}
+
+	warm := make([]string, batchN)
+	for j := range warm {
+		warm[j] = fmt.Sprintf(templates[j%len(templates)], j)
+	}
+	if _, err := rt.EstimateBatch(ctx, envID, warm); err != nil { // prime every replica's tiers
+		return nil, err
+	}
+	warmFill := func(int) []string { return warm }
+	rows = append(rows, batch(RouterWarm, warmFill))
+
+	// Roll the fleet to the same bytes through the full canary protocol:
+	// stage, canary-compare (first replica seeds the reference), commit,
+	// replica by replica. Generations coincide, so the warm row must
+	// still hit afterward.
+	res, err := rt.Rollout(ctx, router.RolloutRequest{
+		ArtifactB64: base64.StdEncoding.EncodeToString(artifact),
+		CanaryEnv:   envID,
+		CanarySQLs:  warm[:4],
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !res.OK {
+		return nil, fmt.Errorf("bench: rollout failed: %s", res.Error)
+	}
+	rows = append(rows, batch(RouterWarmPostRollout, warmFill))
 	return rows, nil
 }
 
@@ -381,6 +512,20 @@ func PostSwapWarmSpeedup(rows []Row) (float64, error) {
 // within-run degenerate case).
 func WarmServeSpeedup(rows []Row) (float64, error) {
 	return Speedup(rows, ServeCoalesced, ServeWarm)
+}
+
+// RouterWarmSpeedup returns how many times faster a warm routed query is
+// than an uncached scattered one — the fleet-level analogue of
+// WarmServeSpeedup, gated at the same -min-warm-speedup floor.
+func RouterWarmSpeedup(rows []Row) (float64, error) {
+	return Speedup(rows, RouterFanout, RouterWarm)
+}
+
+// PostRolloutWarmSpeedup is RouterWarmSpeedup measured after a full
+// canary rollout to a byte-identical artifact — the proof the rollout
+// kept every replica's cache warm.
+func PostRolloutWarmSpeedup(rows []Row) (float64, error) {
+	return Speedup(rows, RouterFanout, RouterWarmPostRollout)
 }
 
 // benchCalib is the machine-speed proxy the regression gate normalizes

@@ -1,0 +1,124 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // replica believed healthy; traffic flows
+	breakerOpen                         // tripped; traffic diverted until the cooldown elapses
+	breakerHalfOpen                     // cooldown over; exactly one probe in flight decides
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one replica's circuit breaker. Threshold consecutive
+// failures trip it open; after Cooldown it admits a single half-open
+// probe (a real request or the health loop's /healthz poll — whichever
+// arrives first), whose outcome either closes the breaker or re-opens
+// it for another cooldown.
+//
+// The breaker only diverts traffic; it never changes results. Every
+// replica serves the same artifact (the rollout protocol keeps it so up
+// to the swap boundary), and the fallback target is the key's
+// deterministic ring successor — so a tripped breaker moves work, not
+// answers.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+	trips    int64     // cumulative trip count (stats)
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent now. In the open state it
+// returns false until the cooldown elapses, then admits exactly one
+// caller as the half-open probe; further callers are rejected until
+// that probe reports success or failure.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a request that completed; a half-open probe's success
+// closes the breaker and re-admits the replica.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a replica fault. Threshold consecutive failures while
+// closed — or any failed half-open probe — (re)open the breaker.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.trips++
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.trips++
+		}
+	default: // already open: refresh nothing; the cooldown clock keeps running
+	}
+}
+
+// snapshot returns the state name and cumulative trips for stats.
+func (b *breaker) snapshot() (string, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.trips
+}

@@ -1,0 +1,181 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// Handler returns the router's HTTP API — the same data-plane shapes a
+// single replica serves, so clients (and the CI smoke diff) cannot tell
+// a router from a replica by its bytes:
+//
+//	POST /estimate        {"env":0,"sql":"..."}        → {"ms":1.23}
+//	POST /estimate_batch  {"env":0,"sqls":["...",...]} → {"ms":[...]}
+//	GET  /healthz                                      → fleet health + uniform generation
+//	GET  /stats                                        → merged fleet stats
+//	POST /rollout         admin: canary-gated fleet artifact rollout
+//
+// /rollout requires the X-QCFE-Admin-Token header to match
+// Options.AdminToken and is disabled (403) when no token is configured
+// — mirroring the replica-side /swap surface it drives.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.EstimateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		ms, err := rt.Estimate(r.Context(), req.Env, req.SQL)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, serve.EstimateResponse{Ms: ms})
+	})
+	mux.HandleFunc("/estimate_batch", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.BatchRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		ms, err := rt.EstimateBatch(r.Context(), req.Env, req.SQLs)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		if ms == nil {
+			ms = []float64{}
+		}
+		writeJSON(w, http.StatusOK, serve.BatchResponse{Ms: ms})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !requireGet(w, r) {
+			return
+		}
+		healthy := 0
+		for _, rep := range rt.replicas {
+			if rep.healthy.Load() {
+				healthy++
+			}
+		}
+		status := "ok"
+		code := http.StatusOK
+		if healthy == 0 {
+			status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, HealthResponse{
+			Status:     status,
+			Replicas:   len(rt.replicas),
+			Healthy:    healthy,
+			Generation: rt.uniformGeneration(),
+			UptimeS:    rt.Uptime().Seconds(),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !requireGet(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, rt.Stats(r.Context()))
+	})
+	mux.HandleFunc("/rollout", func(w http.ResponseWriter, r *http.Request) {
+		if rt.opts.AdminToken == "" {
+			writeError(w, http.StatusForbidden, fmt.Errorf("rollout disabled (no admin token configured)"))
+			return
+		}
+		if r.Header.Get("X-QCFE-Admin-Token") != rt.opts.AdminToken {
+			writeError(w, http.StatusUnauthorized, fmt.Errorf("missing or invalid admin token"))
+			return
+		}
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		// Artifacts ship in-band; match the replica /swap body cap
+		// rather than the 1 MB data-plane cap.
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
+		dec.DisallowUnknownFields()
+		var req RolloutRequest
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		res, err := rt.Rollout(r.Context(), req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	return mux
+}
+
+// HealthResponse is the router's /healthz reply. Generation is set only
+// while every replica's last-known generation agrees — it goes empty
+// mid-rollout, which is itself the signal that the fleet is in
+// transition.
+type HealthResponse struct {
+	Status     string  `json:"status"`
+	Replicas   int     `json:"replicas"`
+	Healthy    int     `json:"healthy"`
+	Generation string  `json:"generation,omitempty"`
+	UptimeS    float64 `json:"uptime_s"`
+}
+
+// errorResponse mirrors the replica error framing ({"error":"..."}) so
+// clients parse router and replica failures identically.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// statusFor maps a routed failure onto the replica status taxonomy: a
+// propagated query fault keeps its original status; cancellation and
+// replica exhaustion are 503 (retryable); anything else is the
+// request's fault.
+func statusFor(err error) int {
+	var re *serve.ReplicaError
+	if errors.As(err, &re) {
+		return re.Status
+	}
+	if errors.Is(err, errExhausted) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,63 @@
+package router
+
+import (
+	"sync"
+
+	"repro/internal/sqlparse"
+)
+
+// routeHashCache memoizes sqlparse.RoutingHash by exact SQL text — the
+// router-side analogue of the replicas' exact-text prediction tier.
+// RoutingHash normalizes the query (lex, parse, strip literals) to a
+// fingerprint hash, which costs microseconds and ~20 allocations; real
+// serving traffic repeats a small set of exact strings, so the hash of
+// a repeated query is one map lookup instead. Correctness is free:
+// RoutingHash is a pure function of the text, so a cached value can
+// never disagree with a recomputed one, and routing stays a pure
+// function of (query text, fleet).
+//
+// Shards bound lock contention; each shard is capacity-bounded and
+// reset wholesale when full (the memoized function is cheap enough that
+// re-warming beats tracking recency).
+const (
+	routeHashShards   = 16
+	routeHashShardCap = 4096
+)
+
+type routeHashCache struct {
+	shards [routeHashShards]routeHashShard
+}
+
+type routeHashShard struct {
+	mu sync.RWMutex
+	m  map[string]uint64
+}
+
+// hash returns RoutingHash(sql), memoized.
+func (c *routeHashCache) hash(sql string) uint64 {
+	s := c.shard(sql)
+	s.mu.RLock()
+	v, ok := s.m[sql]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = sqlparse.RoutingHash(sql)
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= routeHashShardCap {
+		s.m = make(map[string]uint64, 64)
+	}
+	s.m[sql] = v
+	s.mu.Unlock()
+	return v
+}
+
+// shard picks by FNV-1a of the raw text — allocation-free, unlike
+// hashing the normalized form (which is what we're memoizing away).
+func (c *routeHashCache) shard(sql string) *routeHashShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(sql); i++ {
+		h = (h ^ uint32(sql[i])) * 16777619
+	}
+	return &c.shards[h%routeHashShards]
+}

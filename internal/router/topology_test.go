@@ -1,0 +1,182 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Cross-topology determinism: the routed /estimate_batch body must be
+// byte-for-byte the body a single replica — and the root package's
+// checked-in golden file — produces, for every fleet size. The router
+// adds exactly zero entropy: not in the floats, not in the JSON
+// framing.
+
+// goldenBody is the exact batch the root TestGoldenEndToEnd pins; the
+// fixture here trains the identical pipeline, so the same golden file
+// is the reference for the routed path.
+const goldenBody = `{"env":0,"sqls":[` +
+	`"SELECT COUNT(*) FROM sbtest1 WHERE id BETWEEN 100 AND 300",` +
+	`"SELECT * FROM sbtest1 WHERE id = 7",` +
+	`"SELECT * FROM sbtest1 WHERE k < 250",` +
+	`"SELECT k FROM sbtest1 WHERE k < 120 ORDER BY k LIMIT 5",` +
+	`"SELECT COUNT(*) FROM sbtest1 WHERE id BETWEEN 10 AND 900"]}`
+
+// TestGoldenAcrossTopologies serves the golden batch through routers
+// fronting 1, 2, and 4 replicas and diffs each raw response body
+// against testdata/golden_estimate_batch.json. One golden file, four
+// serving shapes (the single process that wrote it, plus three fleet
+// sizes): any byte of divergence — scatter order, merge order, float
+// bits, JSON encoding — fails here.
+func TestGoldenAcrossTopologies(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden floats are pinned on amd64, running on %s", runtime.GOARCH)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden_estimate_batch.json"))
+	if err != nil {
+		t.Fatalf("%v — regenerate with `go test -run TestGoldenEndToEnd -update-golden .` at the repo root", err)
+	}
+	for _, n := range []int{1, 2, 4} {
+		f := startFleet(t, n, nil)
+		rt := newTestRouter(t, f, Options{})
+		front := httptest.NewServer(rt.Handler())
+		resp, err := front.Client().Post(front.URL+"/estimate_batch", "application/json", strings.NewReader(goldenBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if _, err := got.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		front.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%d replicas: status %d: %s", n, resp.StatusCode, got.String())
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("%d replicas: routed body drifted from golden:\n  got  %s  want %s", n, got.String(), string(want))
+		}
+	}
+}
+
+// TestRoutedEqualsLibraryAcrossTopologies is the same invariant at the
+// Go API level and at scale: a 96-query batch (32 templates × literal
+// variants) routed over 1, 2, and 4 replicas returns exactly the
+// library's EstimateBatch bits, in both environments.
+func TestRoutedEqualsLibraryAcrossTopologies(t *testing.T) {
+	sqls := make([]string, 96)
+	for i := range sqls {
+		sqls[i] = testSQL(i)
+	}
+	for env := 0; env < 2; env++ {
+		want := wantBatch(t, env, sqls)
+		for _, n := range []int{1, 2, 4} {
+			f := startFleet(t, n, nil)
+			rt := newTestRouter(t, f, Options{})
+			got, err := rt.EstimateBatch(context.Background(), env, sqls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitsEqual(t, got, want, "env/topology")
+		}
+	}
+}
+
+// TestMetamorphicPermutationAndDuplication: permuting a batch permutes
+// the answers and nothing else; duplicating a query duplicates its
+// bits. Both hold through the scatter/gather (which reorders work by
+// replica) because the gather is index-addressed.
+func TestMetamorphicPermutationAndDuplication(t *testing.T) {
+	f := startFleet(t, 3, nil)
+	rt := newTestRouter(t, f, Options{})
+	ctx := context.Background()
+
+	base := make([]string, 48)
+	for i := range base {
+		base[i] = testSQL(i)
+	}
+	want, err := rt.EstimateBatch(ctx, 0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitsEqual(t, want, wantBatch(t, 0, base), "baseline")
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(base))
+		shuffled := make([]string, len(base))
+		for k, p := range perm {
+			shuffled[k] = base[p]
+		}
+		got, err := rt.EstimateBatch(ctx, 0, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, p := range perm {
+			if got[k] != want[p] {
+				t.Fatalf("trial %d: permuted batch slot %d = %v, want %v (original slot %d)", trial, k, got[k], want[p], p)
+			}
+		}
+	}
+
+	// Duplication: the same query many times in one batch — crossing
+	// sub-batch boundaries — always prices to the same bits.
+	dup := make([]string, 0, 40)
+	for i := 0; i < 40; i++ {
+		dup = append(dup, base[i%4])
+	}
+	got, err := rt.EstimateBatch(ctx, 0, dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dup {
+		if got[i] != want[i%4] {
+			t.Fatalf("duplicated query %d = %v, want %v", i, got[i], want[i%4])
+		}
+	}
+}
+
+// TestSingleEstimateMatchesBatch: the router's single-query path and
+// batch path agree bitwise (they end in the same replica inference).
+func TestSingleEstimateMatchesBatch(t *testing.T) {
+	f := startFleet(t, 2, nil)
+	rt := newTestRouter(t, f, Options{})
+	ctx := context.Background()
+	sqls := []string{testSQL(0), testSQL(1), testSQL(2), testSQL(7)}
+	want := wantBatch(t, 1, sqls)
+	for i, sql := range sqls {
+		got, err := rt.Estimate(ctx, 1, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("single estimate %d = %v, want batch's %v", i, got, want[i])
+		}
+	}
+}
+
+// TestQueryFaultPropagates: a 4xx from a replica (unknown environment)
+// surfaces to the caller as the replica's error — deterministically,
+// not as a retry storm or a breaker trip.
+func TestQueryFaultPropagates(t *testing.T) {
+	f := startFleet(t, 3, nil)
+	rt := newTestRouter(t, f, Options{})
+	_, err := rt.EstimateBatch(context.Background(), 99, []string{testSQL(0), testSQL(1)})
+	if err == nil {
+		t.Fatal("unknown environment priced successfully")
+	}
+	if rt.retries.Load() != 0 {
+		t.Fatalf("query fault caused %d retries, want 0", rt.retries.Load())
+	}
+	for i, rep := range rt.replicas {
+		if state, trips := rep.breaker.snapshot(); state != "closed" || trips != 0 {
+			t.Fatalf("replica %d breaker %s/%d after a query fault, want closed/0", i, state, trips)
+		}
+	}
+}

@@ -168,7 +168,7 @@ func TestStatsExposesCache(t *testing.T) {
 	req, _ := http.NewRequest(http.MethodGet, "/stats", nil)
 	rec := httptest.NewRecorder()
 	srv.Handler().ServeHTTP(rec, req)
-	var out statsResponse
+	var out StatsResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestStatsExposesCache(t *testing.T) {
 	srv2 := New(testEstimator(t), Options{})
 	rec2 := httptest.NewRecorder()
 	srv2.Handler().ServeHTTP(rec2, req)
-	var out2 statsResponse
+	var out2 StatsResponse
 	if err := json.Unmarshal(rec2.Body.Bytes(), &out2); err != nil {
 		t.Fatal(err)
 	}

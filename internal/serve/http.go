@@ -54,21 +54,28 @@ type ShadowResponse struct {
 	Recorded bool    `json:"recorded"`
 }
 
-// healthResponse is the /healthz reply.
-type healthResponse struct {
-	Status    string  `json:"status"`
-	Model     string  `json:"model"`
-	Benchmark string  `json:"benchmark"`
-	Envs      int     `json:"envs"`
-	UptimeS   float64 `json:"uptime_s"`
+// HealthResponse is the /healthz reply. Generation identifies the
+// artifact this replica currently serves (16 hex digits — see
+// GenerationString); the router's rollout gate reads it to verify a
+// committed swap actually landed. Replica echoes Options.Advertise.
+type HealthResponse struct {
+	Status     string  `json:"status"`
+	Model      string  `json:"model"`
+	Benchmark  string  `json:"benchmark"`
+	Envs       int     `json:"envs"`
+	Generation string  `json:"generation"`
+	Replica    string  `json:"replica,omitempty"`
+	UptimeS    float64 `json:"uptime_s"`
 }
 
-// statsResponse is the /stats reply. Cache is present only when the
+// StatsResponse is the /stats reply. Cache is present only when the
 // estimator has a query cache attached; its per-tier hit/miss/size
 // counters come straight from internal/qcache. Drift is present only
 // when a drift monitor is attached (qcfe-serve -adapt) and carries
-// internal/online's rolling q-error and retrain/swap counters.
-type statsResponse struct {
+// internal/online's rolling q-error and retrain/swap counters. The
+// router fetches this per replica and merges the serve, cache, and
+// drift blocks into its fleet-wide /stats.
+type StatsResponse struct {
 	Stats
 	MaxBatch      int              `json:"max_batch"`
 	BatchWindowMs float64          `json:"batch_window_ms"`
@@ -86,8 +93,15 @@ type errorResponse struct {
 //	POST /estimate        {"env":0,"sql":"..."}        → {"ms":1.23}
 //	POST /estimate_batch  {"env":0,"sqls":["...",...]} → {"ms":[...]}
 //	POST /shadow          {"env":0,"sql":"...","actual_ms":1.2} → {"ms":..,"q_error":..}
-//	GET  /healthz                                      → status + model identity
+//	GET  /healthz                                      → status + model identity + generation
 //	GET  /stats                                        → serving counters
+//	POST /swap            admin: stage/commit/rollback an artifact swap
+//	GET  /generation      admin: serving + staged artifact generations
+//
+// The /swap and /generation admin endpoints require the
+// X-QCFE-Admin-Token header to match Options.AdminToken and are
+// disabled (403) when no token is configured; see admin.go for the
+// two-phase swap protocol.
 //
 // Single estimates coalesce with concurrent requests into micro-batches;
 // batch estimates run directly through the batched inference path. Both
@@ -159,19 +173,23 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		est := s.Estimator()
-		writeJSON(w, http.StatusOK, healthResponse{
-			Status:    "ok",
-			Model:     est.ModelName(),
-			Benchmark: est.BenchmarkName(),
-			Envs:      len(est.Environments()),
-			UptimeS:   s.Uptime().Seconds(),
+		writeJSON(w, http.StatusOK, HealthResponse{
+			Status:     "ok",
+			Model:      est.ModelName(),
+			Benchmark:  est.BenchmarkName(),
+			Envs:       len(est.Environments()),
+			Generation: GenerationString(est.Generation()),
+			Replica:    s.opts.Advertise,
+			UptimeS:    s.Uptime().Seconds(),
 		})
 	})
+	mux.HandleFunc("/swap", s.handleSwap)
+	mux.HandleFunc("/generation", s.handleGeneration)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if !requireGet(w, r) {
 			return
 		}
-		resp := statsResponse{
+		resp := StatsResponse{
 			Stats:         s.Stats(),
 			MaxBatch:      s.opts.MaxBatch,
 			BatchWindowMs: float64(s.opts.BatchWindow.Milliseconds()),

@@ -25,6 +25,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +50,11 @@ type Estimator interface {
 	// CacheStats snapshots the attached query cache's counters; ok is
 	// false when no cache is attached.
 	CacheStats() (qcfe.CacheStats, bool)
+	// Generation identifies the artifact the estimator serves: equal
+	// generations mean byte-identical artifacts (and so bit-identical
+	// predictions). /healthz advertises it and the fleet rollout
+	// protocol (internal/router) gates on it.
+	Generation() uint64
 }
 
 // Monitor observes served traffic for online adaptation
@@ -84,6 +90,16 @@ type Options struct {
 	// Enqueueing beyond it blocks the client — backpressure, not
 	// unbounded memory.
 	QueueDepth int
+	// AdminToken, when non-empty, enables the remote-administration
+	// endpoints (/swap, /generation) and is the shared secret every
+	// admin request must present in the X-QCFE-Admin-Token header.
+	// Empty keeps the admin surface disabled (requests get 403) — the
+	// safe default for a replica not managed by a router.
+	AdminToken string
+	// Advertise is the identity this replica reports in /healthz
+	// (typically its externally reachable address). Purely
+	// informational: the router logs and stats use it to name replicas.
+	Advertise string
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +171,15 @@ type Server struct {
 	queue   chan *request
 	start   time.Time
 	monitor Monitor // set during setup, read-only while serving
+
+	// Admin-plane state for the two-phase remote swap (see admin.go).
+	// adminMu serializes stage/commit/rollback/abort; staged is an
+	// artifact loaded but not yet serving; prev is the estimator the
+	// last commit replaced, retained so a canary-failed rollout can
+	// roll this replica back without re-uploading the old artifact.
+	adminMu sync.Mutex
+	staged  Estimator
+	prev    Estimator
 
 	requests      atomic.Int64
 	batchRequests atomic.Int64

@@ -308,7 +308,7 @@ func TestHealthzAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats statsResponse
+	var stats StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}

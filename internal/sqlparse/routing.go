@@ -1,0 +1,31 @@
+package sqlparse
+
+import "hash/fnv"
+
+// RoutingKey is the distributed-serving routing identity of a query: its
+// normalized fingerprint when the text lexes, the raw text otherwise.
+// Routing on the fingerprint sends every literal variant of one template
+// to the same replica, so that replica's template and feature cache
+// tiers (internal/qcache) accumulate all of the template's traffic
+// instead of each replica paying its own cold front half. The raw-text
+// fallback keeps the key total: unlexable queries still route
+// deterministically (the replica will then produce the authoritative
+// parse error).
+//
+// The key is a pure function of the SQL text — two routers, or one
+// router before and after a restart, always agree on it.
+func RoutingKey(sql string) string {
+	fp, _, err := Fingerprint(sql)
+	if err != nil {
+		return sql
+	}
+	return fp
+}
+
+// RoutingHash is the 64-bit FNV-1a hash of RoutingKey(sql) — the value
+// the router's consistent-hash ring places on its keyspace.
+func RoutingHash(sql string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(RoutingKey(sql)))
+	return h.Sum64()
+}

@@ -352,6 +352,15 @@ func (e *CostEstimator) cacheGeneration() uint64 {
 	return e.gen
 }
 
+// Generation returns the estimator's artifact generation: the FNV-64a
+// hash of its full serialized artifact, the same value that stamps
+// query-cache entries. Two estimators share a generation exactly when
+// their artifacts are byte-identical (a Save→Load round trip), so the
+// fleet rollout protocol (internal/router) uses it as the identity of
+// "which model is this replica serving" — a replica advertises it in
+// /healthz and the router gates rollout steps on it.
+func (e *CostEstimator) Generation() uint64 { return e.cacheGeneration() }
+
 // CachedEstimate consults only the prediction tier: a warm hit returns
 // the memoized prediction for the exact (environment, SQL text) pair
 // without planning, featurizing, or inference; a miss returns ok=false
