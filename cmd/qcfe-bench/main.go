@@ -18,10 +18,10 @@
 // microbenchmarks (train iters/sec, predictions/sec, batched vs scalar,
 // serve-throughput, query-cache hit/miss, estimator hot-swap latency,
 // routed fleet fan-out) on the quick grid and writes the
-// machine-readable BENCH_PR6.json rows. This is the CI
+// machine-readable BENCH_PR7.json rows. This is the CI
 // benchmark-regression pipeline:
 //
-//	qcfe-bench -micro -out BENCH_PR6.json -baseline BENCH_PR6.json
+//	qcfe-bench -micro -out BENCH_PR7.json -baseline BENCH_PR7.json
 //
 // exits non-zero when a gated predictions/sec row regresses more than
 // -tolerance against the (machine-normalized) baseline, when the batched
@@ -34,7 +34,11 @@
 // the gate. The routed path carries the same floor: router/estimate-warm
 // and router/estimate-warm-postrollout (warm again after a full canary
 // rollout) must each beat the uncached router/fanout-batch row of the
-// same run.
+// same run. The warm rows are additionally held to the -max-warm-allocs
+// allocs/op ceiling (default 0: a warm hit is a lock-free snapshot
+// probe and must not allocate), and the baseline comparison fails on
+// any allocs/op increase over those rows — allocation counts are
+// machine-independent, so there is no tolerance.
 //
 // With -save the command instead trains one pipeline and writes the
 // estimator as a persistent artifact; with -load it reads an artifact
@@ -66,12 +70,13 @@ func main() {
 	benchmark := flag.String("benchmark", "", "benchmark: tpch|sysbench|imdb (default: all applicable; -save/-load default: sysbench)")
 	size := flag.String("size", "med", "grid size: quick|med|full")
 	workers := flag.Int("workers", 0, "per-fan-out worker cap for parallel labeling and experiments; nested stages each use up to this many goroutines (0 = GOMAXPROCS)")
-	micro := flag.Bool("micro", false, "run the estimator microbenchmarks and emit BENCH_PR6.json rows instead of the experiment suite")
-	out := flag.String("out", "BENCH_PR6.json", "with -micro: output path for the benchmark rows")
-	baseline := flag.String("baseline", "", "with -micro: baseline BENCH_PR6.json to gate against (empty = no gate)")
+	micro := flag.Bool("micro", false, "run the estimator microbenchmarks and emit BENCH_PR7.json rows instead of the experiment suite")
+	out := flag.String("out", "BENCH_PR7.json", "with -micro: output path for the benchmark rows")
+	baseline := flag.String("baseline", "", "with -micro: baseline BENCH_PR7.json to gate against (empty = no gate)")
 	tolerance := flag.Float64("tolerance", 0.20, "with -micro -baseline: maximum allowed predictions/sec regression")
 	minSpeedup := flag.Float64("min-train-speedup", 1.7, "with -micro: minimum batched/scalar training-iteration speedup on the mscn pair (0 disables; ~2.1-2.3x measured, floor set below for run-to-run noise)")
 	minWarmSpeedup := flag.Float64("min-warm-speedup", 5.0, "with -micro: minimum warm cache-hit serving speedup over uncached coalesced serving, same-run rows so machine speed cancels (0 disables; orders of magnitude measured)")
+	maxWarmAllocs := flag.Int64("max-warm-allocs", 0, "with -micro: maximum allocs/op allowed on the warm cache-hit rows (qcache/hit, serve/estimate-warm, serve/estimate-warm-postswap); negative disables (0 enforced by default — the warm path is allocation-free)")
 	savePath := flag.String("save", "", "train one pipeline and write the estimator artifact to this path")
 	loadPath := flag.String("load", "", "load an estimator artifact and evaluate it (or price -estimate queries)")
 	model := flag.String("model", "mscn", "with -save: estimator to train (mscn|qppnet|analytic)")
@@ -104,7 +109,7 @@ func main() {
 	}
 
 	if *micro {
-		if err := runMicro(*out, *baseline, *tolerance, *minSpeedup, *minWarmSpeedup); err != nil {
+		if err := runMicro(*out, *baseline, *tolerance, *minSpeedup, *minWarmSpeedup, *maxWarmAllocs); err != nil {
 			fmt.Fprintf(os.Stderr, "qcfe-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -242,11 +247,13 @@ func runLoad(path string, envID int, estimate string, perEnv int, seed int64) er
 }
 
 // runMicro runs the microbenchmarks, writes the JSON rows, and applies
-// the CI gates: the training-iteration speedup floor and the warm
+// the CI gates: the training-iteration speedup floor, the warm
 // cache-hit serving speedup floor (each comparing two rows of the same
-// run, so machine speed cancels exactly) and, when a baseline is given,
-// the predictions/sec regression tolerance.
-func runMicro(out, baseline string, tolerance, minSpeedup, minWarmSpeedup float64) error {
+// run, so machine speed cancels exactly), the warm-row allocs/op
+// ceiling (a count, no normalization needed), and, when a baseline is
+// given, the predictions/sec regression tolerance plus the no-new-allocs
+// comparison on the same warm rows.
+func runMicro(out, baseline string, tolerance, minSpeedup, minWarmSpeedup float64, maxWarmAllocs int64) error {
 	rows, err := bench.Run()
 	if err != nil {
 		return err
@@ -301,6 +308,20 @@ func runMicro(out, baseline string, tolerance, minSpeedup, minWarmSpeedup float6
 	fmt.Printf("post-rollout routed warm-hit speedup: %.1fx\n", postRollout)
 	if minWarmSpeedup > 0 && postRollout < minWarmSpeedup {
 		return fmt.Errorf("post-rollout routed warm-hit speedup %.1fx below required %.1fx — the rollout chilled the fleet's caches", postRollout, minWarmSpeedup)
+	}
+	if maxWarmAllocs >= 0 {
+		idx := bench.Index(rows)
+		for _, name := range bench.AllocGated {
+			r, ok := idx[name]
+			if !ok {
+				return fmt.Errorf("alloc gate: row %q missing from this run", name)
+			}
+			if r.AllocsPerOp > maxWarmAllocs {
+				return fmt.Errorf("alloc gate: %s at %d allocs/op exceeds -max-warm-allocs %d — the warm path must stay allocation-free",
+					name, r.AllocsPerOp, maxWarmAllocs)
+			}
+		}
+		fmt.Printf("warm-row alloc gate passed (ceiling %d allocs/op)\n", maxWarmAllocs)
 	}
 	if baseline != "" {
 		base, err := bench.ReadJSON(baseline)

@@ -2,7 +2,7 @@
 // benchmark-regression gate: it measures the estimator stack's scalar and
 // batched hot paths (training iterations, predictions, coalesced,
 // cache-warm, and post-hot-swap serving) on the quick grid and emits
-// machine-readable rows — the BENCH_PR5.json schema (unchanged from
+// machine-readable rows — the BENCH_PR7.json schema (unchanged from
 // BENCH_PR2.json):
 //
 //	[{"name": ..., "iters": ..., "ns_per_op": ..., "allocs_per_op": ...}, ...]
@@ -84,8 +84,8 @@ const (
 	ServeCoalesced = "serve/estimate-coalesced"
 
 	// QCacheHit measures a warm prediction-tier hit through the library
-	// EstimateSQL path: fingerprint-free exact-text memoization — the
-	// cost of one sharded map lookup.
+	// EstimateSQL path: fingerprint-free exact-text memoization — one
+	// lock-free snapshot probe, zero allocations (AllocGated pins it).
 	QCacheHit = "qcache/hit"
 	// QCacheMiss measures the cache-enabled cold path on a fresh literal
 	// every op: template-tier hit (skip lex/parse/resolve), re-plan,
@@ -94,7 +94,8 @@ const (
 	QCacheMiss = "qcache/miss"
 	// ServeWarm measures concurrent single-query requests when every
 	// query is warm in the prediction tier: the server short-circuit
-	// before the coalescing queue. The CI gate requires this to beat
+	// before the coalescing queue — lock-free and zero-alloc end to end
+	// (AllocGated pins the count). The CI gate requires this to beat
 	// ServeCoalesced by at least the -min-warm-speedup factor (both rows
 	// come from the same run, so machine speed cancels exactly).
 	ServeWarm = "serve/estimate-warm"
@@ -138,6 +139,15 @@ const (
 // Gated lists the rows the CI gate checks for predictions/sec regressions:
 // the batched serving paths.
 var Gated = []string{MSCNPredictBatch, QPPPredictBatch}
+
+// AllocGated lists the rows whose allocs_per_op the CI gate holds to
+// "no increase vs baseline" (Compare) and qcfe-bench -micro holds to
+// the -max-warm-allocs ceiling (default 0). Only the warm cache-hit
+// rows qualify: their op is deterministic (a lock-free snapshot probe),
+// so allocs_per_op is an exact machine-independent invariant, unlike
+// the HTTP/fanout rows whose counts fold in scheduler and net/http
+// noise.
+var AllocGated = []string{QCacheHit, ServeWarm, ServeWarmPostSwap}
 
 var sink float64
 
@@ -302,23 +312,28 @@ func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, []
 	for i := range sqls {
 		sqls[i] = samples[i%len(samples)].SQL
 	}
+	// concurrent runs conc persistent workers, each issuing tb.N
+	// estimates: the same conc-way load as spawning conc goroutines per
+	// iteration, but the goroutine/WaitGroup setup cost amortizes to
+	// zero over tb.N — so allocs_per_op measures the serving path alone,
+	// which is what the allocs/op gate pins at 0 for the warm rows.
 	concurrent := func(name string) Row {
 		return run(name, conc, func(tb *testing.B) {
 			tb.ReportAllocs()
-			for i := 0; i < tb.N; i++ {
-				var wg sync.WaitGroup
-				for c := 0; c < conc; c++ {
-					wg.Add(1)
-					go func(c int) {
-						defer wg.Done()
-						env := envs[c%len(envs)]
+			var wg sync.WaitGroup
+			for c := 0; c < conc; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					env := envs[c%len(envs)]
+					for i := 0; i < tb.N; i++ {
 						if _, err := srv.Estimate(ctx, env.ID, sqls[c]); err != nil {
 							panic(fmt.Sprintf("bench: serve estimate: %v", err))
 						}
-					}(c)
-				}
-				wg.Wait()
+					}
+				}(c)
 			}
+			wg.Wait()
 		})
 	}
 	rows := []Row{concurrent(ServeCoalesced)}
@@ -648,8 +663,10 @@ func Index(rows []Row) map[string]Row {
 // Compare gates the current run against a baseline: for every Gated row,
 // predictions/sec (after rescaling the current run by the calibration
 // ratio, so different machine speeds cancel) must not fall more than tol
-// below the baseline. It returns one error naming every regressed row, or
-// nil.
+// below the baseline; and for every AllocGated row, allocs_per_op must
+// not exceed the baseline's at all (counts are machine-independent, so
+// any increase is a code regression). It returns one error naming every
+// regressed row, or nil.
 func Compare(baseline, current []Row, tol float64) error {
 	base := Index(baseline)
 	cur := Index(current)
@@ -676,6 +693,25 @@ func Compare(baseline, current []Row, tol float64) error {
 			regressed = append(regressed, fmt.Sprintf(
 				"%s: %.0f predictions/sec (machine-normalized) vs baseline %.0f — %.1f%% regression exceeds %.0f%% tolerance",
 				name, curPps, basePps, 100*(1-curPps/basePps), 100*tol))
+		}
+	}
+	// Allocation gate: allocs/op is a count, not a speed — no machine
+	// normalization applies, and any increase over the baseline is a
+	// code change (a lost pooling or snapshot optimization), never noise.
+	for _, name := range AllocGated {
+		b, ok := base[name]
+		if !ok {
+			continue // baseline predates this row; nothing to gate against
+		}
+		c, ok := cur[name]
+		if !ok {
+			regressed = append(regressed, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			regressed = append(regressed, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d — allocation regression (counts are machine-independent; zero tolerance)",
+				name, c.AllocsPerOp, b.AllocsPerOp))
 		}
 	}
 	if len(regressed) > 0 {

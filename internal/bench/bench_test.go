@@ -166,6 +166,73 @@ func TestCompareMissingRow(t *testing.T) {
 	}
 }
 
+// allocRows builds a row set covering every AllocGated name with the
+// given allocs/op values, plus the rows Compare's speed gate needs.
+func allocRows(allocs map[string]int64) []Row {
+	out := rows(map[string]float64{Calib: 100, MSCNPredictBatch: 1000, QPPPredictBatch: 1000})
+	for _, name := range AllocGated {
+		out = append(out, Row{Name: name, Iters: 100, NsPerOp: 500, AllocsPerOp: allocs[name]})
+	}
+	return out
+}
+
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	base := allocRows(map[string]int64{QCacheHit: 0, ServeWarm: 0, ServeWarmPostSwap: 0})
+	cur := allocRows(map[string]int64{QCacheHit: 0, ServeWarm: 1, ServeWarmPostSwap: 0})
+	err := Compare(base, cur, 0.20)
+	if err == nil {
+		t.Fatal("a single new alloc/op on a warm row passed the gate")
+	}
+	if !strings.Contains(err.Error(), ServeWarm) || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("error does not name the alloc-regressed row: %v", err)
+	}
+}
+
+func TestCompareAllocsEqualOrBetterPass(t *testing.T) {
+	base := allocRows(map[string]int64{QCacheHit: 1, ServeWarm: 3, ServeWarmPostSwap: 3})
+	// Equal on one row, improved on the others: both fine — the gate is
+	// one-sided.
+	cur := allocRows(map[string]int64{QCacheHit: 1, ServeWarm: 0, ServeWarmPostSwap: 0})
+	if err := Compare(base, cur, 0.20); err != nil {
+		t.Fatalf("equal/improved allocs should pass: %v", err)
+	}
+}
+
+func TestCompareAllocGateIgnoresMachineSpeed(t *testing.T) {
+	// A 3× slower runner (calib scales) must not excuse an alloc increase:
+	// counts are machine-independent.
+	base := allocRows(map[string]int64{QCacheHit: 0, ServeWarm: 0, ServeWarmPostSwap: 0})
+	cur := allocRows(map[string]int64{QCacheHit: 2, ServeWarm: 0, ServeWarmPostSwap: 0})
+	for i := range cur {
+		cur[i].NsPerOp *= 3
+	}
+	if err := Compare(base, cur, 0.20); err == nil {
+		t.Fatal("slow-machine normalization must not wave through an alloc regression")
+	}
+}
+
+func TestCompareAllocRowMissingFromCurrent(t *testing.T) {
+	base := allocRows(map[string]int64{QCacheHit: 0, ServeWarm: 0, ServeWarmPostSwap: 0})
+	var cur []Row
+	for _, r := range base {
+		if r.Name != QCacheHit {
+			cur = append(cur, r)
+		}
+	}
+	if err := Compare(base, cur, 0.20); err == nil {
+		t.Fatal("alloc-gated row missing from current run should fail the gate")
+	}
+}
+
+func TestCompareAllocRowMissingFromBaseline(t *testing.T) {
+	// A baseline that predates the warm rows gates nothing on them.
+	base := rows(map[string]float64{Calib: 100, MSCNPredictBatch: 1000, QPPPredictBatch: 1000})
+	cur := allocRows(map[string]int64{QCacheHit: 5, ServeWarm: 5, ServeWarmPostSwap: 5})
+	if err := Compare(base, cur, 0.20); err != nil {
+		t.Fatalf("pre-alloc-row baseline should not gate allocs: %v", err)
+	}
+}
+
 func TestSpeedup(t *testing.T) {
 	rs := rows(map[string]float64{MSCNTrainIterScalar: 2000, MSCNTrainIterBatch: 800})
 	s, err := Speedup(rs, MSCNTrainIterScalar, MSCNTrainIterBatch)

@@ -27,14 +27,48 @@
 // once without a global lock, and in-flight writes from the old
 // generation can never satisfy new-generation reads.
 //
-// # Sharding
+// # Sharding and the RCU read side
 //
 // Each tier is split over a power-of-two number of shards (key-hash
-// selected) with one mutex each, so concurrent serving spreads lock
-// traffic; within a shard, entries live in a fixed-capacity CLOCK ring
-// (second-chance LRU approximation): a hit sets the entry's reference
-// bit, and the eviction hand clears bits until it finds an unreferenced
-// victim. CLOCK keeps hits O(1) without the list surgery of exact LRU.
+// selected). Within a shard the authoritative state — a key index plus a
+// fixed-capacity CLOCK ring (second-chance LRU approximation) — lives
+// behind one mutex that only WRITERS take. Readers go through a
+// published immutable snapshot of the shard's key index, loaded with one
+// atomic pointer read: a warm hit is a lock-free map probe plus three
+// atomic operations (value load, CLOCK reference bit, hit counter) and
+// performs zero heap allocations. Keys are comparable structs (not
+// concatenated strings), so building a lookup key allocates nothing
+// either.
+//
+// The snapshot protocol is copy-on-write with amortized publication:
+//
+//   - Entry slots are shared by pointer between the ring, the index, and
+//     every published snapshot. A store to an existing key swaps the
+//     slot's value box in place (one atomic pointer store), so updates —
+//     including re-stamping a key after a generation swap — are visible
+//     to readers immediately, without republishing.
+//   - An eviction nils the victim slot's box; a reader holding a stale
+//     snapshot sees the dead slot and reports a miss. Lookups can
+//     therefore trust any live slot they find: live slots in a snapshot
+//     are always the authoritative ones.
+//   - Insertions land in the authoritative index first and become
+//     lock-free-visible at the next publication, which clones the index
+//     (O(shard capacity)) and swaps the snapshot pointer. Publications
+//     are amortized: a writer publishes after promoteEvery insertions,
+//     and a reader that misses the snapshot while insertions are pending
+//     takes the writer lock once to probe the authoritative index
+//     (put-then-get stays a hit). Locked probes that hit push the next
+//     publication forward (those are exactly the reads a fresher
+//     snapshot would have made lock-free); locked probes that miss only
+//     count toward a ring's-worth backstop, so cold-miss streams drain
+//     the pending window at amortized O(1) instead of paying a clone
+//     per lookup. Once a working set is published, its readers never
+//     touch the mutex again — the steady-state warm path is wait-free
+//     with respect to writers.
+//
+// Counters are plain atomics incremented exactly once per lookup/store/
+// eviction, so per-tier stats stay exact and monotonic under the
+// lock-free read path.
 package qcache
 
 import (
@@ -105,29 +139,115 @@ func (s Stats) HitRate() float64 {
 	return float64(h) / float64(h+m)
 }
 
-// entry is one cached value with its generation stamp and CLOCK bit.
-type entry struct {
-	key  string
-	gen  uint64
-	val  any
-	ref  bool
-	live bool
+// Key identifies one cache entry: the environment ID plus the tier's
+// string component(s). It is a comparable struct rather than a
+// concatenated string so hot-path lookups build it on the stack — a
+// warm probe allocates nothing. Construct with PredictionKey,
+// TemplateKey, or FeatureKey.
+type Key struct {
+	env int
+	txt string // exact SQL (prediction) or fingerprint (template/feature)
+	sig string // literal signature (feature tier only)
 }
 
-// shard is one lock domain: a fixed-capacity CLOCK ring plus its key
-// index.
+// TemplateKey keys the template tier: (env, fingerprint). Tier keys
+// embed the environment ID because every cached artifact downstream of
+// planning is environment-specific (knobs steer operator choice; the
+// snapshot block is per-environment).
+func TemplateKey(envID int, fingerprint string) Key {
+	return Key{env: envID, txt: fingerprint}
+}
+
+// FeatureKey keys the feature tier: (env, fingerprint, literal signature).
+func FeatureKey(envID int, fingerprint, sig string) Key {
+	return Key{env: envID, txt: fingerprint, sig: sig}
+}
+
+// PredictionKey keys the prediction tier: (env, exact SQL text).
+func PredictionKey(envID int, sql string) Key {
+	return Key{env: envID, txt: sql}
+}
+
+// String renders the key for diagnostics (qcfe-explain). The hot path
+// never calls it.
+func (k Key) String() string {
+	s := strconv.Itoa(k.env) + "\x00" + k.txt
+	if k.sig != "" {
+		s += "\x00" + k.sig
+	}
+	return s
+}
+
+// hash is FNV-64a over the key's components (with separators), used for
+// shard selection. Inlined byte walk — no allocation.
+func (k Key) hash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	e := uint64(k.env)
+	for i := 0; i < 8; i++ {
+		h ^= (e >> (8 * i)) & 0xff
+		h *= prime
+	}
+	for i := 0; i < len(k.txt); i++ {
+		h ^= uint64(k.txt[i])
+		h *= prime
+	}
+	h *= prime // separator: ("ab","c") and ("a","bc") diverge
+	for i := 0; i < len(k.sig); i++ {
+		h ^= uint64(k.sig[i])
+		h *= prime
+	}
+	return h
+}
+
+// box is one immutable (generation, value) pair. Stores swap a whole
+// box atomically so a reader can never observe a value from one
+// generation stamped with another.
+type box struct {
+	gen uint64
+	val any
+}
+
+// slot is one resident entry, shared by pointer between the CLOCK ring,
+// the authoritative index, and every published snapshot. A nil box
+// means the slot was evicted: stale snapshots that still reference it
+// report a miss.
+type slot struct {
+	key Key
+	box atomic.Pointer[box]
+	ref atomic.Bool // CLOCK reference bit; set lock-free by readers
+}
+
+// shard is one lock domain. mu guards the authoritative state (index,
+// ring, hand, used, missed); read is the immutable published snapshot
+// the lock-free read side probes; pending counts insertions not yet
+// published (readers consult it to decide whether the authoritative
+// index could know more than the snapshot).
 type shard struct {
-	mu    sync.Mutex
-	index map[string]int // key → slot
-	slots []entry        // fixed length = per-shard capacity
+	mu      sync.Mutex
+	read    atomic.Pointer[map[Key]*slot]
+	pending atomic.Int64
+
+	index map[Key]*slot
+	ring  []*slot // fixed length = per-shard capacity; nil until first fill
 	hand  int
 	used  int
+	// Publication pressure from the read side, both reset on publish:
+	// slowHits counts locked probes that HIT (reads that would have been
+	// lock-free had the snapshot caught up — once they reach pending,
+	// publishing pays for itself); slowProbes counts every locked probe
+	// (hit or miss) and forces a publish after a ring's worth, so a
+	// cold-miss stream drains pending instead of locking forever, at an
+	// amortized O(1) clone cost per probe.
+	slowHits   int
+	slowProbes int
 }
 
 // tier is one cache level.
 type tier struct {
-	shards []*shard
-	mask   uint64
+	shards       []*shard
+	mask         uint64
+	promoteEvery int
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -137,92 +257,171 @@ type tier struct {
 
 func newTier(shards, capacity int) *tier {
 	per := max(capacity/shards, 1)
-	t := &tier{shards: make([]*shard, shards), mask: uint64(shards - 1)}
+	t := &tier{
+		shards: make([]*shard, shards),
+		mask:   uint64(shards - 1),
+		// Publish after at most per/8 pending insertions: cloning the
+		// index costs O(per), so publication stays an amortized ~8 map
+		// writes per insertion while bounding how long the snapshot can
+		// trail the authoritative state.
+		promoteEvery: max(per/8, 8),
+	}
 	for i := range t.shards {
-		t.shards[i] = &shard{index: make(map[string]int, per), slots: make([]entry, per)}
+		t.shards[i] = &shard{index: make(map[Key]*slot, per), ring: make([]*slot, per)}
 	}
 	return t
 }
 
-// fnv64a hashes a key for shard selection.
-func fnv64a(s string) uint64 {
-	const offset, prime = 14695981039346656037, 1099511628211
-	h := uint64(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime
-	}
-	return h
-}
-
-func (t *tier) shardFor(key string) *shard { return t.shards[fnv64a(key)&t.mask] }
+func (t *tier) shardFor(key Key) *shard { return t.shards[key.hash()&t.mask] }
 
 // get returns the value stored under key at generation g. An entry from
-// any other generation is invisible (and counted as a miss), which is the
-// whole invalidation mechanism.
-func (t *tier) get(key string, g uint64) (any, bool) {
+// any other generation is invisible (and counted as a miss), which is
+// the whole invalidation mechanism.
+//
+// The fast path reads only the published snapshot: one atomic pointer
+// load, one map probe, and — on a hit — the value-box load, the CLOCK
+// reference bit, and the hit counter, all atomic and allocation-free.
+// Only when the probe is inconclusive AND insertions are pending does
+// the reader fall back to the authoritative index under the lock; each
+// such fallback counts toward triggering the next publication, so a
+// working set migrates into the snapshot after at most `pending` locked
+// probes and then never contends again.
+func (t *tier) get(key Key, g uint64) (any, bool) {
 	s := t.shardFor(key)
-	s.mu.Lock()
-	i, ok := s.index[key]
-	if !ok || s.slots[i].gen != g {
-		s.mu.Unlock()
-		t.misses.Add(1)
-		return nil, false
+	if m := s.read.Load(); m != nil {
+		if sl, ok := (*m)[key]; ok {
+			if b := sl.box.Load(); b != nil {
+				// Live slots in a snapshot are authoritative: value
+				// updates and generation re-stamps swap the box in
+				// place, and eviction (the only way a slot leaves the
+				// index) nils it.
+				if b.gen == g {
+					sl.ref.Store(true)
+					t.hits.Add(1)
+					return b.val, true
+				}
+				t.misses.Add(1)
+				return nil, false
+			}
+			// Dead slot: the key may have been re-inserted behind a
+			// fresher slot the snapshot does not know yet — fall through
+			// to the pending check.
+		}
 	}
-	s.slots[i].ref = true
-	v := s.slots[i].val
+	if s.pending.Load() > 0 {
+		if v, ok := s.slowGet(t, key, g); ok {
+			return v, true
+		}
+	}
+	t.misses.Add(1)
+	return nil, false
+}
+
+// slowGet resolves a snapshot miss against the authoritative index while
+// insertions are pending. It runs under the shard mutex — the only place
+// the read side ever locks — and helps publish once enough locked
+// probes have accumulated. Only locked HITS force an early publish
+// (they are the reads publication would make lock-free); a miss learns
+// nothing from a fresh snapshot, so misses only trigger the slow
+// ring's-worth backstop — publishing the clone on every cold miss would
+// turn a fresh-key workload into an O(capacity) copy per lookup.
+func (s *shard) slowGet(t *tier, key Key, g uint64) (any, bool) {
+	s.mu.Lock()
+	sl, ok := s.index[key]
+	var b *box
+	if ok {
+		b = sl.box.Load()
+	}
+	hit := b != nil && b.gen == g
+	s.slowProbes++
+	if hit {
+		s.slowHits++
+	}
+	if (hit && int64(s.slowHits) >= s.pending.Load()) || s.slowProbes >= len(s.ring) {
+		s.publishLocked()
+	}
 	s.mu.Unlock()
-	t.hits.Add(1)
-	return v, true
+	if hit {
+		sl.ref.Store(true)
+		t.hits.Add(1)
+		return b.val, true
+	}
+	return nil, false
+}
+
+// publishLocked clones the authoritative index into a fresh immutable
+// snapshot and swaps it in. Caller holds s.mu.
+func (s *shard) publishLocked() {
+	m := make(map[Key]*slot, len(s.index))
+	for k, sl := range s.index {
+		m[k] = sl
+	}
+	s.read.Store(&m)
+	s.pending.Store(0)
+	s.slowHits, s.slowProbes = 0, 0
 }
 
 // put stores val under key stamped with generation g, evicting via CLOCK
 // second chance when the shard is full. Stale-generation residents are
-// preferred victims regardless of their reference bit.
-func (t *tier) put(key string, g uint64, val any) {
+// preferred victims regardless of their reference bit. Writers are the
+// only lockers of the shard mutex in steady state; readers on published
+// keys proceed untouched throughout.
+func (t *tier) put(key Key, g uint64, val any) {
 	s := t.shardFor(key)
+	b := &box{gen: g, val: val}
 	s.mu.Lock()
-	if i, ok := s.index[key]; ok {
-		s.slots[i].gen = g
-		s.slots[i].val = val
-		s.slots[i].ref = true
+	if sl, ok := s.index[key]; ok {
+		// In-place update: visible to every snapshot holding this slot
+		// without republishing.
+		sl.box.Store(b)
+		sl.ref.Store(true)
 		s.mu.Unlock()
 		t.stores.Add(1)
 		return
 	}
-	var i int
-	if s.used < len(s.slots) {
+	var pos int
+	if s.used < len(s.ring) {
 		// Free slot available (ring not yet full): linear scan from the
 		// hand — rings are small, and this only runs until first fill.
-		for s.slots[s.hand].live {
-			s.hand = (s.hand + 1) % len(s.slots)
+		for s.ring[s.hand] != nil {
+			s.hand = (s.hand + 1) % len(s.ring)
 		}
-		i = s.hand
+		pos = s.hand
 		s.used++
 	} else {
 		// CLOCK sweep: clear reference bits until an unreferenced victim
 		// turns up; entries from dead generations lose their second
 		// chance immediately.
 		for {
-			e := &s.slots[s.hand]
-			if e.ref && e.gen == g {
-				e.ref = false
-				s.hand = (s.hand + 1) % len(s.slots)
+			v := s.ring[s.hand]
+			vb := v.box.Load()
+			if v.ref.Load() && vb != nil && vb.gen == g {
+				v.ref.Store(false)
+				s.hand = (s.hand + 1) % len(s.ring)
 				continue
 			}
 			break
 		}
-		i = s.hand
-		delete(s.index, s.slots[i].key)
+		pos = s.hand
+		victim := s.ring[pos]
+		delete(s.index, victim.key)
+		// Kill the slot, not just the index entry: readers holding a
+		// snapshot that still references it must see a miss.
+		victim.box.Store(nil)
 		t.evictions.Add(1)
 	}
 	// New entries enter unreferenced — the first hit arms the bit — so a
 	// stream of one-shot queries cycles through unreferenced slots
 	// instead of stripping re-referenced residents of their second
 	// chance (scan resistance).
-	s.slots[i] = entry{key: key, gen: g, val: val, live: true}
-	s.index[key] = i
-	s.hand = (s.hand + 1) % len(s.slots)
+	sl := &slot{key: key}
+	sl.box.Store(b)
+	s.ring[pos] = sl
+	s.index[key] = sl
+	s.hand = (pos + 1) % len(s.ring)
+	if s.pending.Add(1) >= int64(t.promoteEvery) {
+		s.publishLocked()
+	}
 	s.mu.Unlock()
 	t.stores.Add(1)
 }
@@ -272,29 +471,10 @@ func (c *QueryCache) Generation() uint64 { return c.gen.Load() }
 // entries are evicted lazily as capacity demands).
 func (c *QueryCache) SetGeneration(g uint64) { c.gen.Store(g) }
 
-// Key builders. Tier keys embed the environment ID because every cached
-// artifact downstream of planning is environment-specific (knobs steer
-// operator choice; the snapshot block is per-environment).
-
-// TemplateKey keys the template tier: (env, fingerprint).
-func TemplateKey(envID int, fingerprint string) string {
-	return strconv.Itoa(envID) + "\x00" + fingerprint
-}
-
-// FeatureKey keys the feature tier: (env, fingerprint, literal signature).
-func FeatureKey(envID int, fingerprint, sig string) string {
-	return strconv.Itoa(envID) + "\x00" + fingerprint + "\x00" + sig
-}
-
-// PredictionKey keys the prediction tier: (env, exact SQL text).
-func PredictionKey(envID int, sql string) string {
-	return strconv.Itoa(envID) + "\x00" + sql
-}
-
 // GetTemplate returns the resolved skeleton cached for a template key.
 // The skeleton is shared and immutable: callers must Clone before
 // binding literals.
-func (c *QueryCache) GetTemplate(key string, g uint64) (*sqlparse.Query, bool) {
+func (c *QueryCache) GetTemplate(key Key, g uint64) (*sqlparse.Query, bool) {
 	v, ok := c.template.get(key, g)
 	if !ok {
 		return nil, false
@@ -304,13 +484,13 @@ func (c *QueryCache) GetTemplate(key string, g uint64) (*sqlparse.Query, bool) {
 
 // PutTemplate stores a resolved skeleton. The caller hands over
 // ownership: the query must not be mutated afterwards.
-func (c *QueryCache) PutTemplate(key string, g uint64, q *sqlparse.Query) {
+func (c *QueryCache) PutTemplate(key Key, g uint64, q *sqlparse.Query) {
 	c.template.put(key, g, q)
 }
 
 // GetFeatures returns the featurized plan cached for a feature key.
 // Shared and immutable.
-func (c *QueryCache) GetFeatures(key string, g uint64) (*encoding.FeaturizedPlan, bool) {
+func (c *QueryCache) GetFeatures(key Key, g uint64) (*encoding.FeaturizedPlan, bool) {
 	v, ok := c.feature.get(key, g)
 	if !ok {
 		return nil, false
@@ -319,13 +499,13 @@ func (c *QueryCache) GetFeatures(key string, g uint64) (*encoding.FeaturizedPlan
 }
 
 // PutFeatures stores a featurized plan; ownership transfers.
-func (c *QueryCache) PutFeatures(key string, g uint64, fp *encoding.FeaturizedPlan) {
+func (c *QueryCache) PutFeatures(key Key, g uint64, fp *encoding.FeaturizedPlan) {
 	c.feature.put(key, g, fp)
 }
 
 // GetPrediction returns the memoized prediction for an exact (env, SQL)
-// pair.
-func (c *QueryCache) GetPrediction(key string, g uint64) (float64, bool) {
+// pair. This is the serving warm path: lock-free and zero-alloc.
+func (c *QueryCache) GetPrediction(key Key, g uint64) (float64, bool) {
 	v, ok := c.prediction.get(key, g)
 	if !ok {
 		return 0, false
@@ -334,7 +514,7 @@ func (c *QueryCache) GetPrediction(key string, g uint64) (float64, bool) {
 }
 
 // PutPrediction memoizes one prediction.
-func (c *QueryCache) PutPrediction(key string, g uint64, ms float64) {
+func (c *QueryCache) PutPrediction(key Key, g uint64, ms float64) {
 	c.prediction.put(key, g, ms)
 }
 

@@ -90,7 +90,7 @@ func TestSecondChance(t *testing.T) {
 	sh := c.prediction.shardFor(hot)
 	// Cold keys that land in the hot key's shard, so they contend for its
 	// four slots — three rings' worth of them.
-	var fill []string
+	var fill []Key
 	for i := 0; len(fill) < 12; i++ {
 		k := PredictionKey(0, fmt.Sprintf("fill%d", i))
 		if c.prediction.shardFor(k) == sh {
@@ -122,7 +122,7 @@ func TestStaleEntriesPreferredVictims(t *testing.T) {
 	c.SetGeneration(g2)
 	// New-generation inserts reclaim stale slots without churning each
 	// other out: all 4 (per-shard capacity) newest keys must be resident.
-	var keys []string
+	var keys []Key
 	for i := 0; i < 4; i++ {
 		k := PredictionKey(0, fmt.Sprintf("new%d", i))
 		keys = append(keys, k)

@@ -2,6 +2,7 @@ package router
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sqlparse"
 )
@@ -16,12 +17,26 @@ import (
 // never disagree with a recomputed one, and routing stays a pure
 // function of (query text, fleet).
 //
-// Shards bound lock contention; each shard is capacity-bounded and
+// The read side follows the same snapshot protocol as internal/qcache
+// (ARCHITECTURE.md §6): a warm hit loads an immutable map via
+// atomic.Pointer and takes no lock — zero allocations, no contention.
+// Writers insert into a dirty map behind the shard mutex and republish
+// a fresh snapshot with bounded lag: publication happens once readers
+// have recomputed as many unpublished keys as are pending (each
+// recompute of an already-inserted key is wasted work, so the lag is
+// self-limiting — a hot key is recomputed at most once before it goes
+// lock-free) or after routeHashPublishEvery inserts, whichever is
+// first. Purity makes the laxer protocol safe here: a reader that
+// misses the snapshot just recomputes, it never needs the qcache-style
+// locked fallback.
+//
+// Shards bound writer contention; each shard is capacity-bounded and
 // reset wholesale when full (the memoized function is cheap enough that
 // re-warming beats tracking recency).
 const (
-	routeHashShards   = 16
-	routeHashShardCap = 4096
+	routeHashShards       = 16
+	routeHashShardCap     = 4096
+	routeHashPublishEvery = 64
 )
 
 type routeHashCache struct {
@@ -29,25 +44,50 @@ type routeHashCache struct {
 }
 
 type routeHashShard struct {
-	mu sync.RWMutex
-	m  map[string]uint64
+	mu sync.Mutex
+	// read is the published immutable snapshot of m; nil until the first
+	// publication (and immediately after a wholesale reset).
+	read atomic.Pointer[map[string]uint64]
+	// m is the authoritative dirty map, guarded by mu.
+	m map[string]uint64
+	// published is len(m) at the last publication; missed counts
+	// recomputes of keys already in m since then. missed >= pending
+	// means readers have paid for the publication we deferred.
+	published int
+	missed    int
 }
 
-// hash returns RoutingHash(sql), memoized.
+// hash returns RoutingHash(sql), memoized. The warm path — snapshot
+// load, map probe — is lock-free and allocation-free.
 func (c *routeHashCache) hash(sql string) uint64 {
 	s := c.shard(sql)
-	s.mu.RLock()
-	v, ok := s.m[sql]
-	s.mu.RUnlock()
-	if ok {
-		return v
+	if m := s.read.Load(); m != nil {
+		if v, ok := (*m)[sql]; ok {
+			return v
+		}
 	}
-	v = sqlparse.RoutingHash(sql)
+	// Snapshot miss: recompute outside the lock (RoutingHash is pure, so
+	// concurrent recomputes of the same text agree), then record.
+	v := sqlparse.RoutingHash(sql)
 	s.mu.Lock()
 	if s.m == nil || len(s.m) >= routeHashShardCap {
 		s.m = make(map[string]uint64, 64)
+		s.read.Store(nil)
+		s.published, s.missed = 0, 0
 	}
-	s.m[sql] = v
+	if _, ok := s.m[sql]; ok {
+		s.missed++
+	} else {
+		s.m[sql] = v
+	}
+	if pend := len(s.m) - s.published; pend > 0 && (s.missed >= pend || pend >= routeHashPublishEvery) {
+		snap := make(map[string]uint64, len(s.m))
+		for k, h := range s.m {
+			snap[k] = h
+		}
+		s.read.Store(&snap)
+		s.published, s.missed = len(s.m), 0
+	}
 	s.mu.Unlock()
 	return v
 }

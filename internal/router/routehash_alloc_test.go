@@ -1,0 +1,64 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+// TestRouteHashMemoHitZeroAlloc pins the warm-path contract on the
+// router's RoutingHash memo: once a query's hash is published to the
+// shard snapshot, the lookup is lock-free and performs zero heap
+// allocations. (Cold lookups pay the full normalize-and-hash cost plus
+// one deferred snapshot clone — that's the trade.)
+func TestRouteHashMemoHitZeroAlloc(t *testing.T) {
+	var c routeHashCache
+	sql := "SELECT * FROM sbtest1 WHERE id = 42"
+	want := sqlparse.RoutingHash(sql)
+	// Warm until published: the second miss on a single hot key trips
+	// the missed >= pending publication rule, so a handful of calls
+	// guarantees the snapshot holds it.
+	for i := 0; i < 8; i++ {
+		if got := c.hash(sql); got != want {
+			t.Fatalf("memo hash %x != RoutingHash %x", got, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if c.hash(sql) != want {
+			t.Fatal("memo hash changed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("memo hit allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestRouteHashCacheConcurrent hammers the snapshot read path against
+// concurrent inserts and wholesale shard resets; every answer must
+// equal the pure function throughout.
+func TestRouteHashCacheConcurrent(t *testing.T) {
+	var c routeHashCache
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				// Interleave a shared hot set (snapshot hits) with
+				// per-goroutine churn (inserts, eventual resets).
+				sql := fmt.Sprintf("SELECT a FROM t WHERE id = %d", i%17)
+				if g%2 == 1 {
+					sql = fmt.Sprintf("SELECT a FROM churn WHERE id = %d", g*10000+i)
+				}
+				if got, want := c.hash(sql), sqlparse.RoutingHash(sql); got != want {
+					t.Errorf("cached hash %x != RoutingHash %x for %q", got, want, sql)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEstimateWarmZeroAlloc pins the tentpole invariant at the serving
+// layer: once a query's prediction is resident (and the cache shard's
+// snapshot published), Server.Estimate answers it with zero heap
+// allocations — environment resolution, the cache probe (struct key,
+// lock-free snapshot read), counters, and monitor dispatch included.
+// The CI bench job gates the same property on serve/estimate-warm; this
+// keeps it enforced by plain `go test` too.
+func TestEstimateWarmZeroAlloc(t *testing.T) {
+	est := cachedCopy(t)
+	env := est.Environments()[0]
+	sql := testSQL(0)
+	srv := New(est, Options{})
+	// No srv.Run: a warm hit never touches the queue, so a batcherless
+	// server doubles as proof the fast path stayed queue-free.
+	ctx := context.Background()
+	want, err := est.EstimateSQL(env, sql) // warm the prediction tier
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the cache's publication window so the measured hits read the
+	// lock-free snapshot (see qcache's TestPredictionHitZeroAlloc).
+	for i := 0; i < 64; i++ {
+		if got, err := srv.Estimate(ctx, env.ID, sql); err != nil || got != want {
+			t.Fatalf("warm-up hit = (%v, %v), want (%v, nil)", got, err, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		got, err := srv.Estimate(ctx, env.ID, sql)
+		if err != nil || got != want {
+			t.Fatalf("warm hit = (%v, %v), want (%v, nil)", got, err, want)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Estimate allocates %.2f allocs/op, want 0", allocs)
+	}
+}

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	qcfe "repro"
 )
@@ -237,10 +239,32 @@ func requireGet(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
+// encBufPool recycles the JSON encode buffers for every HTTP reply, so
+// response marshaling reuses one scratch buffer per concurrent request
+// instead of growing a fresh one each time. Buffers that ballooned on
+// an unusually large reply (a wide /estimate_batch) are dropped rather
+// than pinned in the pool.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledEncBuf = 64 << 10
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	// Encode (not Marshal) to keep the reply bytes identical to the
+	// pre-pool json.NewEncoder(w) path, trailing newline included — the
+	// router's byte-compare canary and the CI smoke diff depend on it.
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		encBufPool.Put(buf)
+		http.Error(w, `{"error":"encode failure"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledEncBuf {
+		encBufPool.Put(buf)
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {

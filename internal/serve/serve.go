@@ -147,11 +147,31 @@ type result struct {
 	err error
 }
 
-// request is one enqueued single-query estimate.
+// request is one enqueued single-query estimate. Requests are pooled:
+// Estimate takes one from reqPool, the batcher replies through the
+// buffered channel, and the caller returns it after reading the reply.
+// A request abandoned mid-flight (caller gave up on ctx after enqueue)
+// is NOT returned to the pool — the batcher still owns it and will
+// drop a reply into the buffered channel, so reuse would deliver that
+// stale result to a future caller. Abandoned requests leak to the GC,
+// which is exactly the pre-pool behavior.
 type request struct {
 	env   *qcfe.Environment
 	sql   string
 	reply chan result
+}
+
+var reqPool = sync.Pool{
+	New: func() any { return &request{reply: make(chan result, 1)} },
+}
+
+// putRequest clears a request's references and returns it to the pool.
+// Only the party that has consumed (or provably prevented) the reply
+// may call it.
+func putRequest(r *request) {
+	r.env = nil
+	r.sql = ""
+	reqPool.Put(r)
 }
 
 // estBox wraps the current estimator behind one pointer so a hot swap
@@ -386,19 +406,24 @@ func (s *Server) Estimate(ctx context.Context, envID int, sql string) (float64, 
 		s.observe(est, env, sql, ms)
 		return ms, nil
 	}
-	r := &request{env: env, sql: sql, reply: make(chan result, 1)}
+	r := reqPool.Get().(*request)
+	r.env, r.sql = env, sql
 	select {
 	case s.queue <- r:
 	case <-ctx.Done():
+		// Never enqueued: nobody else holds r, safe to recycle.
+		putRequest(r)
 		s.errors.Add(1)
 		return 0, ctx.Err()
 	}
 	select {
 	case res := <-r.reply:
+		putRequest(r)
 		return res.ms, res.err
 	case <-ctx.Done():
 		// The batcher will still price the request and drop the reply
 		// into the buffered channel; the caller just stopped waiting.
+		// r stays out of the pool (see the request type comment).
 		s.errors.Add(1)
 		return 0, ctx.Err()
 	}
