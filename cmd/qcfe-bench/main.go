@@ -293,6 +293,14 @@ func runMicro(out, baseline string, tolerance, minSpeedup, minWarmSpeedup float6
 	if minWarmSpeedup > 0 && postSwap < minWarmSpeedup {
 		return fmt.Errorf("post-swap warm-hit speedup %.1fx below required %.1fx — the hot swap chilled the cache", postSwap, minWarmSpeedup)
 	}
+	multiTenant, err := bench.MultiTenantWarmSpeedup(rows)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multi-tenant warm-hit serving speedup: %.1fx\n", multiTenant)
+	if minWarmSpeedup > 0 && multiTenant < minWarmSpeedup {
+		return fmt.Errorf("multi-tenant warm-hit speedup %.1fx below required %.1fx — the tenant layer is taxing the warm path", multiTenant, minWarmSpeedup)
+	}
 	routed, err := bench.RouterWarmSpeedup(rows)
 	if err != nil {
 		return err

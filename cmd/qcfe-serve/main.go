@@ -41,6 +41,24 @@
 // Predictions are bit-identical to the library's EstimateSQL on the same
 // artifact, cached or not. SIGINT/SIGTERM trigger a graceful shutdown:
 // in-flight requests finish, queued requests fail with a shutdown error.
+//
+// # Multi-tenant mode
+//
+// With -tenants the daemon hosts several artifacts in one process
+// (internal/tenant) instead of one:
+//
+//	qcfe-serve -tenants alpha=a.qcfe,beta=b.qcfe -tenant-weights alpha=3,beta=1 -max-inflight 32
+//
+// Each tenant gets its own coalescing server, its own tenant-namespaced
+// query cache, and (with -adapt) its own drift monitor; requests name
+// their tenant via the X-QCFE-Tenant header or the body's "tenant"
+// field. Admission divides -max-inflight NN slots into weighted
+// fair-share floors (-tenant-weights; default 1 each), and under
+// overload a tenant's requests walk the degradation ladder: warm-cache
+// hits always serve, then the analytic fallback answers with
+// "degraded":true, then 429 + Retry-After. /stats gains a per-tenant
+// block with queue depth and shed/degrade counters. -artifact and
+// -tenants are mutually exclusive.
 package main
 
 import (
@@ -52,6 +70,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,10 +79,11 @@ import (
 	"repro/internal/online"
 	"repro/internal/parallel"
 	"repro/internal/serve"
+	"repro/internal/tenant"
 )
 
 func main() {
-	artifactPath := flag.String("artifact", "", "path to a model artifact written by CostEstimator.Save / qcfe-bench -save (required)")
+	artifactPath := flag.String("artifact", "", "path to a model artifact written by CostEstimator.Save / qcfe-bench -save (required unless -tenants)")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	maxBatch := flag.Int("max-batch", 64, "largest coalesced micro-batch")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "longest a request waits for batch companions")
@@ -77,10 +98,13 @@ func main() {
 	labelEvery := flag.Int("label-every", 8, "with -adapt: replay every Nth served estimate through the engine for a ground-truth label (1 = label everything)")
 	adminToken := flag.String("admin-token", "", "enable the /swap and /generation admin endpoints, authenticated by this X-QCFE-Admin-Token value (empty = admin surface disabled); required for qcfe-router rollouts")
 	advertise := flag.String("advertise", "", "replica identity echoed in /healthz (e.g. this host's URL in a qcfe-router fleet)")
+	tenantsSpec := flag.String("tenants", "", "multi-tenant mode: comma-separated name=artifact pairs (e.g. alpha=a.qcfe,beta=b.qcfe); mutually exclusive with -artifact")
+	tenantWeights := flag.String("tenant-weights", "", "with -tenants: comma-separated name=weight fair-share weights (unlisted tenants weigh 1)")
+	maxInflight := flag.Int("max-inflight", 0, "with -tenants: NN-path inflight-slot budget divided into weighted per-tenant floors (0 = 4×GOMAXPROCS)")
 	flag.Parse()
 
-	if *artifactPath == "" {
-		fmt.Fprintln(os.Stderr, "qcfe-serve: -artifact is required")
+	if (*artifactPath == "") == (*tenantsSpec == "") {
+		fmt.Fprintln(os.Stderr, "qcfe-serve: exactly one of -artifact or -tenants is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -105,10 +129,101 @@ func main() {
 		AdminToken:  *adminToken,
 		Advertise:   *advertise,
 	}
-	if err := run(*artifactPath, *addr, sopts, copts, aopts); err != nil {
+	var err error
+	if *tenantsSpec != "" {
+		err = runMulti(*tenantsSpec, *tenantWeights, *maxInflight, *addr, sopts, copts, aopts)
+	} else {
+		err = run(*artifactPath, *addr, sopts, copts, aopts)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "qcfe-serve: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runMulti is the -tenants boot path: load every named artifact, build
+// the fair-share registry, wire an independent drift monitor per tenant
+// when -adapt is on, and serve the registry's handler.
+func runMulti(specs, weightsSpec string, maxInflight int, addr string, opts serve.Options, copts *qcfe.CacheOptions, aopts *online.Options) error {
+	weights, err := parseWeights(weightsSpec)
+	if err != nil {
+		return err
+	}
+	var cfgs []tenant.Config
+	for _, pair := range strings.Split(specs, ",") {
+		name, path, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("bad -tenants entry %q (want name=artifact)", pair)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		est, err := qcfe.LoadEstimator(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("tenant %q: %w", name, err)
+		}
+		fmt.Printf("qcfe-serve: tenant %q: loaded %s estimator for %s (%d environments)\n",
+			name, est.ModelName(), est.BenchmarkName(), len(est.Environments()))
+		cfgs = append(cfgs, tenant.Config{Name: name, Est: est, Weight: weights[name]})
+		delete(weights, name)
+	}
+	for name := range weights {
+		return fmt.Errorf("-tenant-weights names unknown tenant %q", name)
+	}
+
+	reg, err := tenant.New(tenant.Options{
+		Serve:       opts,
+		MaxInflight: maxInflight,
+		Cache:       copts,
+	}, cfgs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("qcfe-serve: multi-tenant mode: %d tenants %v; name requests with the %s header or \"tenant\" field\n",
+		len(reg.Names()), reg.Names(), serve.TenantHeader)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if aopts != nil {
+		for _, tc := range cfgs {
+			t, err := reg.Tenant(tc.Name)
+			if err != nil {
+				return err
+			}
+			srv := t.Server()
+			ad := online.New(tc.Est, *aopts, func(next *qcfe.CostEstimator) { srv.SwapEstimator(next) })
+			srv.SetMonitor(ad)
+			go ad.Run(ctx)
+		}
+		fmt.Printf("qcfe-serve: online adaptation on per tenant (window %d, drift threshold %.2f)\n",
+			aopts.Window, aopts.DriftThreshold)
+	}
+	go reg.Run(ctx)
+
+	return serveHTTP(ctx, addr, reg.Handler())
+}
+
+// parseWeights parses "name=N,name=N" into a map.
+func parseWeights(spec string) (map[string]int, error) {
+	weights := make(map[string]int)
+	if spec == "" {
+		return weights, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q (want name=weight)", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q: weight must be a positive integer", pair)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 func run(artifactPath, addr string, opts serve.Options, copts *qcfe.CacheOptions, aopts *online.Options) error {
@@ -148,9 +263,15 @@ func run(artifactPath, addr string, opts serve.Options, copts *qcfe.CacheOptions
 	}
 	go srv.Run(ctx)
 
+	return serveHTTP(ctx, addr, srv.Handler())
+}
+
+// serveHTTP runs the HTTP front end until ctx (the signal context) is
+// cancelled, then shuts down gracefully.
+func serveHTTP(ctx context.Context, addr string, h http.Handler) error {
 	httpSrv := &http.Server{
 		Addr:    addr,
-		Handler: srv.Handler(),
+		Handler: h,
 		// Request contexts descend from the signal context, so shutdown
 		// cancels in-flight planning fan-outs too.
 		BaseContext: func(net.Listener) context.Context { return ctx },

@@ -23,6 +23,7 @@ import (
 	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
@@ -30,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -44,6 +46,7 @@ import (
 	"repro/internal/qppnet"
 	"repro/internal/router"
 	"repro/internal/serve"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -134,6 +137,25 @@ const (
 	// still hit. Gated at the same -min-warm-speedup floor — a rollout
 	// that silently chilled the fleet's caches fails here.
 	RouterWarmPostRollout = "router/estimate-warm-postrollout"
+
+	// ServeWarmMultiTenant re-measures the warm concurrent serving loop
+	// through a two-tenant Registry: same warm query set as ServeWarm,
+	// but every request first resolves its tenant and probes that
+	// tenant's generation-stamped cache namespace — the rung-2 path
+	// that bypasses admission entirely. The CI gate holds it to the
+	// same -min-warm-speedup floor as ServeWarm: the multi-tenant layer
+	// must not meaningfully tax the warm short-circuit.
+	ServeWarmMultiTenant = "serve/estimate-warm-multitenant"
+	// ServeShedOverload measures the degradation ladder under
+	// saturation: a 32-way flood of cold queries against a registry
+	// carved down to one NN slot, a one-deep queue, and one analytic
+	// slot, so the overwhelming majority of requests walk every rung
+	// and shed. ns_per_op is the mean per-request cost of that overload
+	// mix (mostly the shed fast path: admission refusal + analytic-pool
+	// refusal). Not gated against the baseline directly (it folds in
+	// scheduler timing), but a shed path that started blocking or doing
+	// real work would show up here by orders of magnitude.
+	ServeShedOverload = "serve/shed-overload"
 )
 
 // Gated lists the rows the CI gate checks for predictions/sec regressions:
@@ -147,7 +169,7 @@ var Gated = []string{MSCNPredictBatch, QPPPredictBatch}
 // so allocs_per_op is an exact machine-independent invariant, unlike
 // the HTTP/fanout rows whose counts fold in scheduler and net/http
 // noise.
-var AllocGated = []string{QCacheHit, ServeWarm, ServeWarmPostSwap}
+var AllocGated = []string{QCacheHit, ServeWarm, ServeWarmPostSwap, ServeWarmMultiTenant}
 
 var sink float64
 
@@ -278,6 +300,12 @@ func Run() ([]Row, error) {
 		return nil, fmt.Errorf("bench: router: %w", err)
 	}
 	rows = append(rows, routerRows...)
+
+	tenantRows, err := benchTenant(artifact, envs, lab.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("bench: tenant: %w", err)
+	}
+	rows = append(rows, tenantRows...)
 	return rows, nil
 }
 
@@ -511,6 +539,128 @@ func benchRouter(artifact []byte, envID int) ([]Row, error) {
 	}
 	rows = append(rows, batch(RouterWarmPostRollout, warmFill))
 	return rows, nil
+}
+
+// benchTenant measures the multi-tenant serving layer. The warm row
+// prices the rung-2 short-circuit through a two-tenant registry (tenant
+// resolution + a probe of that tenant's stamped cache namespace, no
+// admission) on the same warm query set and concurrency as ServeWarm.
+// The shed row floods a deliberately starved registry (one NN slot, a
+// one-deep queue, one analytic slot, no cache) with 32-way cold traffic
+// so most requests walk the whole degradation ladder and shed — the
+// per-request cost of saying no under overload. ns_per_op is per
+// request.
+func benchTenant(artifact []byte, envs []*dbenv.Environment, samples []workload.Sample) ([]Row, error) {
+	load := func() (*qcfe.CostEstimator, error) {
+		return qcfe.LoadEstimator(bytes.NewReader(artifact))
+	}
+	alphaEst, err := load()
+	if err != nil {
+		return nil, err
+	}
+	betaEst, err := load()
+	if err != nil {
+		return nil, err
+	}
+	reg, err := tenant.New(tenant.Options{
+		Serve: serve.Options{MaxBatch: 64, BatchWindow: time.Millisecond},
+		Cache: &qcfe.CacheOptions{},
+	}, []tenant.Config{
+		{Name: "alpha", Est: alphaEst, Weight: 1},
+		{Name: "beta", Est: betaEst, Weight: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go reg.Run(ctx)
+
+	const conc = 32
+	sqls := make([]string, conc)
+	for i := range sqls {
+		sqls[i] = samples[i%len(samples)].SQL
+	}
+	// Warm alpha's namespace through the registry itself: the first pass
+	// serves rung 1 and stores, so the measured pass is all rung 2.
+	for c := 0; c < conc; c++ {
+		if _, degraded, err := reg.Estimate(ctx, "alpha", envs[c%len(envs)].ID, sqls[c]); err != nil || degraded {
+			return nil, fmt.Errorf("bench: tenant warm fill c=%d: degraded=%v err=%v", c, degraded, err)
+		}
+	}
+	rows := []Row{run(ServeWarmMultiTenant, conc, func(tb *testing.B) {
+		tb.ReportAllocs()
+		var wg sync.WaitGroup
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				envID := envs[c%len(envs)].ID
+				for i := 0; i < tb.N; i++ {
+					ms, degraded, err := reg.Estimate(ctx, "alpha", envID, sqls[c])
+					if err != nil || degraded {
+						panic(fmt.Sprintf("bench: tenant warm estimate: degraded=%v err=%v", degraded, err))
+					}
+					sink = ms
+				}
+			}(c)
+		}
+		wg.Wait()
+	})}
+
+	// The starved registry for the shed row. No cache: rung 2 never
+	// hits, so every request is admission → analytic pool → shed.
+	floodEst, err := load()
+	if err != nil {
+		return nil, err
+	}
+	flood, err := tenant.New(tenant.Options{
+		Serve:            serve.Options{MaxBatch: 64, BatchWindow: time.Millisecond},
+		MaxInflight:      1,
+		AnalyticInflight: 1,
+		QueueDepth:       1,
+	}, []tenant.Config{{Name: "flood", Est: floodEst, Weight: 1}})
+	if err != nil {
+		return nil, err
+	}
+	go flood.Run(ctx)
+	var sheds atomic.Int64
+	rows = append(rows, run(ServeShedOverload, conc, func(tb *testing.B) {
+		tb.ReportAllocs()
+		var wg sync.WaitGroup
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				envID := envs[c%len(envs)].ID
+				for i := 0; i < tb.N; i++ {
+					ms, _, err := flood.Estimate(ctx, "flood", envID, sqls[c])
+					switch {
+					case errors.Is(err, tenant.ErrShed):
+						sheds.Add(1)
+					case err != nil:
+						panic(fmt.Sprintf("bench: shed flood estimate: %v", err))
+					default:
+						sink = ms
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}))
+	if sheds.Load() == 0 {
+		return nil, fmt.Errorf("bench: shed-overload row shed nothing — the flood never saturated the ladder")
+	}
+	return rows, nil
+}
+
+// MultiTenantWarmSpeedup returns how many times faster a warm estimate
+// served through a two-tenant Registry is than an uncached coalesced
+// one — the proof that tenant resolution and the stamped cache
+// namespace add no meaningful cost to the warm short-circuit. Gated at
+// the same -min-warm-speedup floor as WarmServeSpeedup.
+func MultiTenantWarmSpeedup(rows []Row) (float64, error) {
+	return Speedup(rows, ServeCoalesced, ServeWarmMultiTenant)
 }
 
 // PostSwapWarmSpeedup returns how many times faster a warm served

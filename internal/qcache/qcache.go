@@ -89,6 +89,15 @@ type Options struct {
 	// Capacity is the per-tier entry budget, split evenly across shards
 	// (minimum one entry per shard). 0 means 4096.
 	Capacity int
+	// Tenant namespaces every key this cache stores or looks up: the
+	// tenant ID becomes part of the key identity (and its shard hash), so
+	// entries written under one tenant can never satisfy — or collide
+	// with — lookups under another, even if two caches' contents were
+	// ever merged or a cache object were shared by mistake. The
+	// multi-tenant registry (internal/tenant) gives every tenant its own
+	// cache instance stamped with its name; single-tenant callers leave
+	// it empty and keys are exactly the pre-tenant ones.
+	Tenant string
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +131,7 @@ type TierStats struct {
 // Stats snapshots the whole cache.
 type Stats struct {
 	Generation uint64    `json:"generation"`
+	Tenant     string    `json:"tenant,omitempty"`
 	Shards     int       `json:"shards"`
 	Capacity   int       `json:"capacity_per_tier"`
 	Template   TierStats `json:"template"`
@@ -140,14 +150,17 @@ func (s Stats) HitRate() float64 {
 }
 
 // Key identifies one cache entry: the environment ID plus the tier's
-// string component(s). It is a comparable struct rather than a
-// concatenated string so hot-path lookups build it on the stack — a
-// warm probe allocates nothing. Construct with PredictionKey,
-// TemplateKey, or FeatureKey.
+// string component(s), plus the owning cache's tenant namespace. It is
+// a comparable struct rather than a concatenated string so hot-path
+// lookups build it on the stack — a warm probe allocates nothing.
+// Construct with PredictionKey, TemplateKey, or FeatureKey; the tenant
+// component is stamped by the cache itself (from Options.Tenant) on
+// every get/put, so callers cannot forge or forget it.
 type Key struct {
 	env int
 	txt string // exact SQL (prediction) or fingerprint (template/feature)
 	sig string // literal signature (feature tier only)
+	tnt string // tenant namespace (Options.Tenant; "" single-tenant)
 }
 
 // TemplateKey keys the template tier: (env, fingerprint). Tier keys
@@ -175,6 +188,9 @@ func (k Key) String() string {
 	if k.sig != "" {
 		s += "\x00" + k.sig
 	}
+	if k.tnt != "" {
+		s = k.tnt + "\x00" + s
+	}
 	return s
 }
 
@@ -195,6 +211,11 @@ func (k Key) hash() uint64 {
 	h *= prime // separator: ("ab","c") and ("a","bc") diverge
 	for i := 0; i < len(k.sig); i++ {
 		h ^= uint64(k.sig[i])
+		h *= prime
+	}
+	h *= prime // separator before the tenant namespace
+	for i := 0; i < len(k.tnt); i++ {
+		h ^= uint64(k.tnt[i])
 		h *= prime
 	}
 	return h
@@ -443,10 +464,24 @@ func (t *tier) stats() TierStats {
 
 // QueryCache is the three-tier cache. One instance serves one estimator
 // at a time; attaching a different estimator just moves the generation.
+// When Options.Tenant is set, every key is stamped with the tenant
+// namespace on the way in — the cache's contents are disjoint, by key
+// identity, from every other tenant's.
 type QueryCache struct {
 	opts                          Options
 	gen                           atomic.Uint64
 	template, feature, prediction *tier
+}
+
+// Tenant returns the namespace this cache stamps into every key (""
+// for a single-tenant cache).
+func (c *QueryCache) Tenant() string { return c.opts.Tenant }
+
+// stamp folds the cache's tenant namespace into a caller-built key.
+// Key is a value type, so this cannot race.
+func (c *QueryCache) stamp(key Key) Key {
+	key.tnt = c.opts.Tenant
+	return key
 }
 
 // New builds an empty cache.
@@ -475,7 +510,7 @@ func (c *QueryCache) SetGeneration(g uint64) { c.gen.Store(g) }
 // The skeleton is shared and immutable: callers must Clone before
 // binding literals.
 func (c *QueryCache) GetTemplate(key Key, g uint64) (*sqlparse.Query, bool) {
-	v, ok := c.template.get(key, g)
+	v, ok := c.template.get(c.stamp(key), g)
 	if !ok {
 		return nil, false
 	}
@@ -485,13 +520,13 @@ func (c *QueryCache) GetTemplate(key Key, g uint64) (*sqlparse.Query, bool) {
 // PutTemplate stores a resolved skeleton. The caller hands over
 // ownership: the query must not be mutated afterwards.
 func (c *QueryCache) PutTemplate(key Key, g uint64, q *sqlparse.Query) {
-	c.template.put(key, g, q)
+	c.template.put(c.stamp(key), g, q)
 }
 
 // GetFeatures returns the featurized plan cached for a feature key.
 // Shared and immutable.
 func (c *QueryCache) GetFeatures(key Key, g uint64) (*encoding.FeaturizedPlan, bool) {
-	v, ok := c.feature.get(key, g)
+	v, ok := c.feature.get(c.stamp(key), g)
 	if !ok {
 		return nil, false
 	}
@@ -500,13 +535,13 @@ func (c *QueryCache) GetFeatures(key Key, g uint64) (*encoding.FeaturizedPlan, b
 
 // PutFeatures stores a featurized plan; ownership transfers.
 func (c *QueryCache) PutFeatures(key Key, g uint64, fp *encoding.FeaturizedPlan) {
-	c.feature.put(key, g, fp)
+	c.feature.put(c.stamp(key), g, fp)
 }
 
 // GetPrediction returns the memoized prediction for an exact (env, SQL)
 // pair. This is the serving warm path: lock-free and zero-alloc.
 func (c *QueryCache) GetPrediction(key Key, g uint64) (float64, bool) {
-	v, ok := c.prediction.get(key, g)
+	v, ok := c.prediction.get(c.stamp(key), g)
 	if !ok {
 		return 0, false
 	}
@@ -515,13 +550,14 @@ func (c *QueryCache) GetPrediction(key Key, g uint64) (float64, bool) {
 
 // PutPrediction memoizes one prediction.
 func (c *QueryCache) PutPrediction(key Key, g uint64, ms float64) {
-	c.prediction.put(key, g, ms)
+	c.prediction.put(c.stamp(key), g, ms)
 }
 
 // Stats snapshots all counters.
 func (c *QueryCache) Stats() Stats {
 	return Stats{
 		Generation: c.gen.Load(),
+		Tenant:     c.opts.Tenant,
 		Shards:     c.opts.Shards,
 		Capacity:   c.opts.Capacity,
 		Template:   c.template.stats(),

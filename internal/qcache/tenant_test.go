@@ -1,0 +1,42 @@
+package qcache
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTenantNamespace: Options.Tenant is part of every key's identity.
+// Two caches configured for different tenants stamp the same logical
+// key into disjoint namespaces — different hashes, different debug
+// strings — so a tenant can never read or evict another's entries even
+// if the instances were ever to share storage.
+func TestTenantNamespace(t *testing.T) {
+	ca := New(Options{Shards: 2, Capacity: 32, Tenant: "alpha"})
+	cb := New(Options{Shards: 2, Capacity: 32, Tenant: "beta"})
+	c0 := New(Options{Shards: 2, Capacity: 32})
+
+	k := PredictionKey(0, "SELECT 1")
+	ka, kb, k0 := ca.stamp(k), cb.stamp(k), c0.stamp(k)
+	if ka == kb || ka == k0 || kb == k0 {
+		t.Fatalf("tenant stamp did not partition keys: %v %v %v", ka, kb, k0)
+	}
+	if k0 != k {
+		t.Fatal("no-tenant cache must leave keys untouched")
+	}
+	if ka.hash() == kb.hash() {
+		t.Fatal("stamped keys of different tenants share a hash")
+	}
+	if !strings.HasPrefix(ka.String(), "alpha\x00") {
+		t.Fatalf("stamped key string %q lacks tenant prefix", ka.String())
+	}
+
+	// Same-tenant round trips keep working through the stamped accessors.
+	g := ca.Generation()
+	ca.PutPrediction(k, g, 4.5)
+	if v, ok := ca.GetPrediction(k, g); !ok || v != 4.5 {
+		t.Fatalf("same-tenant round trip: got (%v, %v)", v, ok)
+	}
+	if st := ca.Stats(); st.Tenant != "alpha" {
+		t.Fatalf("Stats().Tenant = %q, want alpha", st.Tenant)
+	}
+}

@@ -30,7 +30,7 @@ func (rt *Router) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		ms, err := rt.Estimate(r.Context(), req.Env, req.SQL)
+		ms, err := rt.EstimateTenant(r.Context(), tenantOf(r, req.Tenant), req.Env, req.SQL)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -42,7 +42,7 @@ func (rt *Router) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		ms, err := rt.EstimateBatch(r.Context(), req.Env, req.SQLs)
+		ms, err := rt.EstimateBatchTenant(r.Context(), tenantOf(r, req.Tenant), req.Env, req.SQLs)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -124,6 +124,16 @@ type HealthResponse struct {
 	Healthy    int     `json:"healthy"`
 	Generation string  `json:"generation,omitempty"`
 	UptimeS    float64 `json:"uptime_s"`
+}
+
+// tenantOf resolves a routed request's tenant: X-QCFE-Tenant header
+// first, then the body's "tenant" field — the same precedence the
+// multi-tenant registry applies downstream.
+func tenantOf(r *http.Request, bodyTenant string) string {
+	if name := r.Header.Get(serve.TenantHeader); name != "" {
+		return name
+	}
+	return bodyTenant
 }
 
 // errorResponse mirrors the replica error framing ({"error":"..."}) so

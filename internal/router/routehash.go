@@ -33,6 +33,12 @@ import (
 // Shards bound writer contention; each shard is capacity-bounded and
 // reset wholesale when full (the memoized function is cheap enough that
 // re-warming beats tracking recency).
+//
+// Each shard keeps hit/miss/reset counters (atomics, so the warm path
+// stays lock-free); Router.Stats sums them into the /stats "routehash"
+// block. A high reset count flags a shard churning through more
+// distinct query texts than routeHashShardCap — the signal to widen
+// the cache rather than guess from hit rate alone.
 const (
 	routeHashShards       = 16
 	routeHashShardCap     = 4096
@@ -55,6 +61,33 @@ type routeHashShard struct {
 	// means readers have paid for the publication we deferred.
 	published int
 	missed    int
+
+	// Observability counters (atomic: hits increment on the lock-free
+	// read path).
+	hits   atomic.Int64 // snapshot probes that returned a memoized hash
+	misses atomic.Int64 // recomputes (snapshot absent, stale, or key new)
+	resets atomic.Int64 // wholesale shard resets (capacity reached)
+}
+
+// RouteHashStats is the memo's /stats block: how often routing keys
+// came from the snapshot versus a fresh normalize-and-hash, and how
+// many times a full shard was thrown away.
+type RouteHashStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Resets int64 `json:"resets"`
+}
+
+// stats sums the per-shard counters.
+func (c *routeHashCache) stats() RouteHashStats {
+	var s RouteHashStats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Resets += sh.resets.Load()
+	}
+	return s
 }
 
 // hash returns RoutingHash(sql), memoized. The warm path — snapshot
@@ -63,14 +96,19 @@ func (c *routeHashCache) hash(sql string) uint64 {
 	s := c.shard(sql)
 	if m := s.read.Load(); m != nil {
 		if v, ok := (*m)[sql]; ok {
+			s.hits.Add(1)
 			return v
 		}
 	}
 	// Snapshot miss: recompute outside the lock (RoutingHash is pure, so
 	// concurrent recomputes of the same text agree), then record.
+	s.misses.Add(1)
 	v := sqlparse.RoutingHash(sql)
 	s.mu.Lock()
 	if s.m == nil || len(s.m) >= routeHashShardCap {
+		if s.m != nil {
+			s.resets.Add(1)
+		}
 		s.m = make(map[string]uint64, 64)
 		s.read.Store(nil)
 		s.published, s.missed = 0, 0

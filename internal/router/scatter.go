@@ -36,8 +36,18 @@ type queryFault struct {
 // Estimate routes one query to its fingerprint's replica (with
 // deterministic failover) and returns the estimate.
 func (rt *Router) Estimate(ctx context.Context, env int, sql string) (float64, error) {
+	return rt.EstimateTenant(ctx, "", env, sql)
+}
+
+// EstimateTenant is Estimate for a named tenant against a multi-tenant
+// fleet: the tenant is folded into the routing key (one tenant's
+// templates stay cache-local to one replica instead of colliding with
+// every tenant's on the same ring point) and forwarded to the replica
+// as the X-QCFE-Tenant header. An empty tenant routes and serves
+// exactly like the single-tenant path.
+func (rt *Router) EstimateTenant(ctx context.Context, tenant string, env int, sql string) (float64, error) {
 	rt.requests.Add(1)
-	ms, err := rt.scatter(ctx, env, []string{sql})
+	ms, err := rt.scatter(ctx, tenant, env, []string{sql})
 	if err != nil {
 		rt.errors.Add(1)
 		return 0, err
@@ -50,16 +60,40 @@ func (rt *Router) Estimate(ctx context.Context, env int, sql string) (float64, e
 // on any single replica (they all serve the same artifact), which is
 // the property the cross-topology golden tests pin down.
 func (rt *Router) EstimateBatch(ctx context.Context, env int, sqls []string) ([]float64, error) {
+	return rt.EstimateBatchTenant(ctx, "", env, sqls)
+}
+
+// EstimateBatchTenant is EstimateBatch for a named tenant; see
+// EstimateTenant for the routing-key and forwarding semantics.
+func (rt *Router) EstimateBatchTenant(ctx context.Context, tenant string, env int, sqls []string) ([]float64, error) {
 	rt.batchQueries.Add(int64(len(sqls)))
-	ms, err := rt.scatter(ctx, env, sqls)
+	ms, err := rt.scatter(ctx, tenant, env, sqls)
 	if err != nil {
 		rt.errors.Add(1)
 	}
 	return ms, err
 }
 
+// tenantKey folds a tenant name into a query's routing key (FNV-1a
+// walk seeded with the fingerprint hash). Distinct tenants thus get
+// independent ring placements for the same template — each tenant's
+// working set stays cache-local to its own replica — while the empty
+// tenant leaves the key, and therefore every existing placement,
+// untouched.
+func tenantKey(h uint64, tenant string) uint64 {
+	if tenant == "" {
+		return h
+	}
+	const prime64 = 1099511628211
+	h = (h ^ 0xff) * prime64 // separator: "" and "\x00"-ish names can't collide with no-tenant
+	for i := 0; i < len(tenant); i++ {
+		h = (h ^ uint64(tenant[i])) * prime64
+	}
+	return h
+}
+
 // scatter is the shared routing core.
-func (rt *Router) scatter(ctx context.Context, env int, sqls []string) ([]float64, error) {
+func (rt *Router) scatter(ctx context.Context, tenant string, env int, sqls []string) ([]float64, error) {
 	if len(sqls) == 0 {
 		return []float64{}, nil
 	}
@@ -75,7 +109,7 @@ func (rt *Router) scatter(ctx context.Context, env int, sqls []string) ([]float6
 	seqByHash := make(map[uint64][]int)
 	routes := make([]route, len(sqls))
 	for i, sql := range sqls {
-		h := rt.hashes.hash(sql)
+		h := tenantKey(rt.hashes.hash(sql), tenant)
 		seq, ok := seqByHash[h]
 		if !ok {
 			seq = rt.ring.sequence(h)
@@ -157,7 +191,11 @@ func (rt *Router) scatter(ctx context.Context, env int, sqls []string) ([]float6
 			go func(ri int, rep *replica, indices []int, sub []string) {
 				cctx, cancel := context.WithTimeout(ctx, rt.opts.Timeout)
 				defer cancel()
-				ms, err := rep.client.EstimateBatch(cctx, env, sub)
+				// Per-call client copy: the caller's tenant rides to the
+				// replica as the X-QCFE-Tenant header.
+				cl := *rep.client
+				cl.Tenant = tenant
+				ms, err := cl.EstimateBatch(cctx, env, sub)
 				resCh <- groupResult{replica: ri, indices: indices, ms: ms, err: err}
 			}(ri, rep, indices, sub)
 		}

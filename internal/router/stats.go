@@ -41,6 +41,9 @@ type StatsResponse struct {
 	Errors       int64  `json:"errors"`
 	Rollouts     int64  `json:"rollouts"`
 	Rollbacks    int64  `json:"rollbacks"`
+	// RouteHash is the routing-key memo's hit/miss/reset counters
+	// (internal/router routeHashCache).
+	RouteHash RouteHashStats `json:"routehash"`
 	// Fleet sums the serve counters of every replica that answered.
 	Fleet serve.Stats `json:"fleet"`
 	// Cache sums the per-tier hit/miss/size counters of every replica
@@ -87,6 +90,7 @@ func (rt *Router) Stats(ctx context.Context) StatsResponse {
 		Errors:       rt.errors.Load(),
 		Rollouts:     rt.rollouts.Load(),
 		Rollbacks:    rt.rollbacks.Load(),
+		RouteHash:    rt.hashes.stats(),
 	}
 	for _, rep := range rt.replicas {
 		state, trips := rep.breaker.snapshot()

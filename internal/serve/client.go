@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // Client is a typed HTTP client for one qcfe-serve replica — the
@@ -24,6 +25,18 @@ type Client struct {
 	// AdminToken is sent as X-QCFE-Admin-Token on admin calls (Swap*,
 	// Generation). Leave empty for data-plane-only use.
 	AdminToken string
+	// Tenant, when non-empty, is sent as the X-QCFE-Tenant header on
+	// every call, naming this client's tenant against a multi-tenant
+	// registry (internal/tenant). Single-tenant servers ignore it. The
+	// router sets it per request to forward the caller's tenant.
+	Tenant string
+	// Timeout bounds each call that arrives with a context carrying no
+	// deadline: the call runs under a derived context with this
+	// deadline. A context that already has a deadline is used as-is —
+	// caller deadlines always win — so admin calls (Swap*, Healthz)
+	// honor context deadlines instead of relying on the bare HTTP
+	// client timeout. Zero applies no per-call deadline.
+	Timeout time.Duration
 }
 
 // ReplicaError is a non-2xx reply from a replica, carrying the HTTP
@@ -48,8 +61,16 @@ func (e *ReplicaError) QueryFault() bool {
 	return e.Status >= 400 && e.Status < 500
 }
 
-// do posts (or gets) one JSON round trip.
+// do posts (or gets) one JSON round trip. The request always runs
+// under ctx — a caller deadline cancels the round trip mid-body, not
+// just mid-dial — with c.Timeout as the fallback deadline when the
+// caller supplied none.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, admin bool) error {
+	if _, ok := ctx.Deadline(); !ok && c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
 	var body io.Reader
 	if in != nil {
 		raw, err := json.Marshal(in)
@@ -67,6 +88,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, admin
 	}
 	if admin {
 		req.Header.Set("X-QCFE-Admin-Token", c.AdminToken)
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
 	}
 	hc := c.HTTP
 	if hc == nil {

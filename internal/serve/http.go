@@ -17,26 +17,45 @@ import (
 // -estimate output, so the CI smoke test can diff the server against the
 // library byte for byte.
 
+// TenantHeader names the tenant a request belongs to in a multi-tenant
+// deployment (internal/tenant). The header wins over the body's
+// "tenant" field when both are set; a single-tenant Server accepts and
+// ignores both, so one client works against either deployment shape.
+const TenantHeader = "X-QCFE-Tenant"
+
 // EstimateRequest is the /estimate body.
 type EstimateRequest struct {
 	Env int    `json:"env"`
 	SQL string `json:"sql"`
+	// Tenant optionally names the tenant in a multi-tenant deployment
+	// (the X-QCFE-Tenant header takes precedence). Ignored by a
+	// single-tenant Server.
+	Tenant string `json:"tenant,omitempty"`
 }
 
-// EstimateResponse is the /estimate reply.
+// EstimateResponse is the /estimate reply. Degraded is set only by the
+// multi-tenant registry when the answer came from the rung-3 analytic
+// fallback instead of the serving model; omitempty keeps un-degraded
+// replies byte-identical to a single-tenant server's.
 type EstimateResponse struct {
-	Ms float64 `json:"ms"`
+	Ms       float64 `json:"ms"`
+	Degraded bool    `json:"degraded,omitempty"`
 }
 
 // BatchRequest is the /estimate_batch body.
 type BatchRequest struct {
-	Env  int      `json:"env"`
-	SQLs []string `json:"sqls"`
+	Env    int      `json:"env"`
+	SQLs   []string `json:"sqls"`
+	Tenant string   `json:"tenant,omitempty"`
 }
 
-// BatchResponse is the /estimate_batch reply.
+// BatchResponse is the /estimate_batch reply. Degraded is set when at
+// least one element was priced by the rung-3 analytic fallback (warm
+// prediction-tier hits in the same batch keep their full-fidelity
+// values); absent on the full NN path.
 type BatchResponse struct {
-	Ms []float64 `json:"ms"`
+	Ms       []float64 `json:"ms"`
+	Degraded bool      `json:"degraded,omitempty"`
 }
 
 // ShadowRequest is the /shadow body: a query plus the latency the
@@ -45,6 +64,7 @@ type ShadowRequest struct {
 	Env      int     `json:"env"`
 	SQL      string  `json:"sql"`
 	ActualMs float64 `json:"actual_ms"`
+	Tenant   string  `json:"tenant,omitempty"`
 }
 
 // ShadowResponse is the /shadow reply: the live model's estimate
@@ -191,20 +211,28 @@ func (s *Server) Handler() http.Handler {
 		if !requireGet(w, r) {
 			return
 		}
-		resp := StatsResponse{
-			Stats:         s.Stats(),
-			MaxBatch:      s.opts.MaxBatch,
-			BatchWindowMs: float64(s.opts.BatchWindow.Milliseconds()),
-		}
-		if cs, ok := s.Estimator().CacheStats(); ok {
-			resp.Cache = &cs
-		}
-		if s.monitor != nil {
-			resp.Drift = s.monitor.DriftStats()
-		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, s.StatsSnapshot())
 	})
 	return mux
+}
+
+// StatsSnapshot assembles the /stats reply body: serving counters plus
+// the cache and drift blocks when present. The multi-tenant registry
+// embeds one per tenant, so a tenant's block carries exactly what the
+// same server would report standalone.
+func (s *Server) StatsSnapshot() StatsResponse {
+	resp := StatsResponse{
+		Stats:         s.Stats(),
+		MaxBatch:      s.opts.MaxBatch,
+		BatchWindowMs: float64(s.opts.BatchWindow.Milliseconds()),
+	}
+	if cs, ok := s.Estimator().CacheStats(); ok {
+		resp.Cache = &cs
+	}
+	if s.monitor != nil {
+		resp.Drift = s.monitor.DriftStats()
+	}
+	return resp
 }
 
 // statusFor classifies an estimate error: cancellation (a draining

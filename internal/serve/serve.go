@@ -429,6 +429,31 @@ func (s *Server) Estimate(ctx context.Context, envID int, sql string) (float64, 
 	}
 }
 
+// EstimateCached serves a query only when the attached cache's
+// prediction tier already knows it: a warm hit returns the memoized
+// prediction — counted and observed exactly like a warm hit through
+// Estimate — without touching the coalescing queue; a miss returns
+// ok=false having done no planning, inference, or queueing. The
+// multi-tenant admission layer (internal/tenant) uses it as the
+// ladder's rung-2 path: prediction-tier hits are served at every load
+// level, only misses compete for NN capacity.
+func (s *Server) EstimateCached(envID int, sql string) (float64, bool, error) {
+	env, err := s.EnvByID(envID)
+	if err != nil {
+		s.errors.Add(1)
+		return 0, false, err
+	}
+	est := s.Estimator()
+	ms, ok := est.CachedEstimate(env, sql)
+	if !ok {
+		return 0, false, nil
+	}
+	s.requests.Add(1)
+	s.cacheHits.Add(1)
+	s.observe(est, env, sql, ms)
+	return ms, true, nil
+}
+
 // observe feeds a served estimate to the drift monitor, when one is
 // attached, naming the estimator snapshot that produced it.
 func (s *Server) observe(est Estimator, env *qcfe.Environment, sql string, ms float64) {

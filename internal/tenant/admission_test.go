@@ -1,0 +1,192 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCarve(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []int
+		want    []int
+	}{
+		{total: 10, weights: []int{1, 1}, want: []int{5, 5}},
+		{total: 8, weights: []int{3, 1}, want: []int{6, 2}},
+		{total: 4, weights: []int{1, 1, 1, 1}, want: []int{1, 1, 1, 1}},
+		// Minimum one each, even when proportionality would round to 0.
+		{total: 4, weights: []int{100, 1, 1}, want: []int{2, 1, 1}},
+	}
+	for _, tc := range cases {
+		got := carve(tc.total, tc.weights)
+		sum := 0
+		for i, g := range got {
+			if g < 1 {
+				t.Fatalf("carve(%d, %v)[%d] = %d < 1", tc.total, tc.weights, i, g)
+			}
+			sum += g
+		}
+		if len(tc.weights) <= tc.total && sum > tc.total {
+			t.Fatalf("carve(%d, %v) = %v oversubscribes (%d)", tc.total, tc.weights, got, sum)
+		}
+		for i, w := range tc.want {
+			if got[i] != w {
+				t.Fatalf("carve(%d, %v) = %v, want %v", tc.total, tc.weights, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestFloorIsUnconditional is the isolation invariant: a tenant below
+// its floor is admitted no matter how far another tenant has flooded
+// the global budget.
+func TestFloorIsUnconditional(t *testing.T) {
+	a := newAdmission(4, 32, 8, []int{1, 1}) // shares: 2 + 2
+	good, evil := a.buckets[0], a.buckets[1]
+	ctx := context.Background()
+
+	// Evil takes its floor and borrows the rest of the budget.
+	for i := 0; i < 4; i++ {
+		ok, err := a.acquire(ctx, evil)
+		if err != nil || !ok {
+			t.Fatalf("evil acquire %d: (%v, %v)", i, ok, err)
+		}
+	}
+	if a.total != a.max {
+		t.Fatalf("total %d != max %d", a.total, a.max)
+	}
+	// Good still gets its whole floor immediately.
+	for i := 0; i < good.share; i++ {
+		ok, err := a.acquire(ctx, good)
+		if err != nil || !ok {
+			t.Fatalf("good floor acquire %d refused under evil flood: (%v, %v)", i, ok, err)
+		}
+	}
+	// Beyond the floor, good queues like anyone else (no free slot).
+	ctx2, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	ok, err := a.acquire(ctx2, good)
+	if ok || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("past-floor acquire with no capacity: (%v, %v)", ok, err)
+	}
+}
+
+// TestBorrowIsWorkConserving: idle capacity is lendable, but never
+// ahead of the borrower's own queued requests.
+func TestBorrowIsWorkConserving(t *testing.T) {
+	a := newAdmission(4, 32, 8, []int{1, 1})
+	b := a.buckets[0]
+	ctx := context.Background()
+	// One tenant can take the whole idle budget.
+	for i := 0; i < 4; i++ {
+		if ok, _ := a.acquire(ctx, b); !ok {
+			t.Fatalf("borrow %d refused with %d/%d slots held", i, a.total, a.max)
+		}
+	}
+	// Queue one waiter, then release a slot: the waiter gets it, so a
+	// *new* borrow attempt (FIFO behind it) must queue rather than jump.
+	got := make(chan bool, 1)
+	go func() {
+		ok, _ := a.acquire(ctx, b)
+		got <- ok
+	}()
+	for a.queueDepth(b) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	a.release(b)
+	if ok := <-got; !ok {
+		t.Fatal("queued waiter not granted the released slot")
+	}
+}
+
+// TestQueueBound: a tenant's wait queue is bounded; the overflow
+// request is refused instantly (degrade signal), not parked.
+func TestQueueBound(t *testing.T) {
+	const depth = 3
+	a := newAdmission(1, 32, depth, []int{1})
+	b := a.buckets[0]
+	ctx := context.Background()
+	if ok, _ := a.acquire(ctx, b); !ok {
+		t.Fatal("first acquire refused")
+	}
+	var wg sync.WaitGroup
+	cctx, cancel := context.WithCancel(ctx)
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.acquire(cctx, b)
+		}()
+	}
+	for a.queueDepth(b) < depth {
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	ok, err := a.acquire(ctx, b)
+	if ok || err != nil {
+		t.Fatalf("overflow acquire = (%v, %v), want (false, nil)", ok, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("overflow refusal was not immediate")
+	}
+	cancel()
+	wg.Wait()
+	a.release(b)
+	if a.total != 0 {
+		t.Fatalf("slots leaked: total %d after full release", a.total)
+	}
+}
+
+// TestCancelWhileQueued: abandoning the queue leaks neither slots nor
+// queue positions, including when the grant races the cancellation.
+func TestCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 32, 8, []int{1})
+	b := a.buckets[0]
+	ctx := context.Background()
+	if ok, _ := a.acquire(ctx, b); !ok {
+		t.Fatal("first acquire refused")
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		ok, err := a.acquire(cctx, b)
+		if ok {
+			a.release(b)
+		}
+		done <- err
+	}()
+	for a.queueDepth(b) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire after cancel: %v", err)
+	}
+	a.release(b)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total != 0 || b.inflight != 0 {
+		t.Fatalf("leak after cancel: total=%d inflight=%d", a.total, b.inflight)
+	}
+}
+
+// TestAnalyticPool: rung-3 slots follow the same floor+borrow rule but
+// refuse instantly when exhausted (no queue).
+func TestAnalyticPool(t *testing.T) {
+	a := newAdmission(2, 4, 8, []int{1, 1}) // analytic shares: 2 + 2
+	x, y := a.buckets[0], a.buckets[1]
+	for i := 0; i < 4; i++ {
+		if !a.acquireAnalytic(x) {
+			t.Fatalf("analytic acquire %d refused below the global budget", i)
+		}
+	}
+	// Global budget spent by x; y's floor admits anyway.
+	if !a.acquireAnalytic(y) {
+		t.Fatal("analytic floor refused under another tenant's flood")
+	}
+	a.releaseAnalytic(x)
+	a.releaseAnalytic(y)
+}

@@ -600,6 +600,30 @@ func LoadEstimator(r io.Reader) (*CostEstimator, error) {
 	}, nil
 }
 
+// AnalyticEstimator builds the training-free PGSQL-baseline estimator
+// over a benchmark's statistics, priced under envs — without running
+// the training pipeline. Because the analytic model has no trainable
+// state (core.Analytic's Train is a no-op) and reads only the dataset
+// statistics, the returned estimator's predictions are bit-identical
+// to a NewPipeline("analytic").Fit(...) estimator over the same
+// benchmark: both plan through the shared planAnnotated front half and
+// price with pgcost over the same deterministic statistics. The
+// multi-tenant degradation ladder (internal/tenant) uses it as the
+// rung-3 fallback, which is what makes "degraded answers equal the
+// library analytic estimator" a bitwise invariant rather than an
+// approximation.
+//
+// The estimator serves inference only: it has no featurizer, so Save
+// reports an error rather than writing a partial artifact.
+func AnalyticEstimator(b *Benchmark, envs []*Environment) *CostEstimator {
+	return &CostEstimator{
+		res:   &core.Result{Model: core.NewAnalytic(b.ds.Stats)},
+		bench: b,
+		envs:  envs,
+		cfg:   core.DefaultConfig("analytic"),
+	}
+}
+
 // Adapt incrementally retrains the estimator on a sliding window of
 // recently labeled queries and returns the adapted estimator as a NEW
 // object; the receiver is never mutated and keeps serving unchanged.
