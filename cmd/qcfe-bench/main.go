@@ -77,6 +77,7 @@ func main() {
 	minSpeedup := flag.Float64("min-train-speedup", 1.7, "with -micro: minimum batched/scalar training-iteration speedup on the mscn pair (0 disables; ~2.1-2.3x measured, floor set below for run-to-run noise)")
 	minWarmSpeedup := flag.Float64("min-warm-speedup", 5.0, "with -micro: minimum warm cache-hit serving speedup over uncached coalesced serving, same-run rows so machine speed cancels (0 disables; orders of magnitude measured)")
 	maxWarmAllocs := flag.Int64("max-warm-allocs", 0, "with -micro: maximum allocs/op allowed on the warm cache-hit rows (qcache/hit, serve/estimate-warm, serve/estimate-warm-postswap); negative disables (0 enforced by default — the warm path is allocation-free)")
+	maxHistRecordNs := flag.Float64("max-hist-record-ns", 50, "with -micro: ceiling on the obs/histogram-record row's ns/op — the per-sample cost observability adds to every hot path (0 disables; two uncontended atomic adds measure ~5-10ns)")
 	savePath := flag.String("save", "", "train one pipeline and write the estimator artifact to this path")
 	loadPath := flag.String("load", "", "load an estimator artifact and evaluate it (or price -estimate queries)")
 	model := flag.String("model", "mscn", "with -save: estimator to train (mscn|qppnet|analytic)")
@@ -109,7 +110,7 @@ func main() {
 	}
 
 	if *micro {
-		if err := runMicro(*out, *baseline, *tolerance, *minSpeedup, *minWarmSpeedup, *maxWarmAllocs); err != nil {
+		if err := runMicro(*out, *baseline, *tolerance, *minSpeedup, *minWarmSpeedup, *maxWarmAllocs, *maxHistRecordNs); err != nil {
 			fmt.Fprintf(os.Stderr, "qcfe-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -252,8 +253,9 @@ func runLoad(path string, envID int, estimate string, perEnv int, seed int64) er
 // run, so machine speed cancels exactly), the warm-row allocs/op
 // ceiling (a count, no normalization needed), and, when a baseline is
 // given, the predictions/sec regression tolerance plus the no-new-allocs
-// comparison on the same warm rows.
-func runMicro(out, baseline string, tolerance, minSpeedup, minWarmSpeedup float64, maxWarmAllocs int64) error {
+// comparison on the same warm rows. The histogram-record ceiling bounds
+// what one observability sample may cost the hot paths.
+func runMicro(out, baseline string, tolerance, minSpeedup, minWarmSpeedup float64, maxWarmAllocs int64, maxHistRecordNs float64) error {
 	rows, err := bench.Run()
 	if err != nil {
 		return err
@@ -330,6 +332,17 @@ func runMicro(out, baseline string, tolerance, minSpeedup, minWarmSpeedup float6
 			}
 		}
 		fmt.Printf("warm-row alloc gate passed (ceiling %d allocs/op)\n", maxWarmAllocs)
+	}
+	if maxHistRecordNs > 0 {
+		r, ok := bench.Index(rows)[bench.ObsHistRecord]
+		if !ok {
+			return fmt.Errorf("hist-record gate: row %q missing from this run", bench.ObsHistRecord)
+		}
+		if r.NsPerOp > maxHistRecordNs {
+			return fmt.Errorf("hist-record gate: %s at %.1f ns/op exceeds -max-hist-record-ns %.1f — a latency sample must stay two cheap atomic adds",
+				bench.ObsHistRecord, r.NsPerOp, maxHistRecordNs)
+		}
+		fmt.Printf("histogram-record gate passed (%.1f ns/op, ceiling %.1f)\n", r.NsPerOp, maxHistRecordNs)
 	}
 	if baseline != "" {
 		base, err := bench.ReadJSON(baseline)

@@ -1,0 +1,56 @@
+// Command qcfe-promcheck validates a Prometheus text-exposition
+// document (text format 0.0.4) against the same in-tree grammar and
+// histogram-invariant checker the obs package's golden tests use
+// (obs.ValidateExposition). The CI smoke jobs pipe each daemon's
+// /metrics body through it, so a malformed scrape fails the build with
+// the offending line instead of failing silently in a collector later.
+//
+// Usage:
+//
+//	qcfe-promcheck [file]    # no file: read stdin
+//
+// Exit status 0 means the document parses and every histogram satisfies
+// the _bucket/_sum/_count invariants; anything else prints the first
+// violation and exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: qcfe-promcheck [file]  (reads stdin without a file)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	var (
+		data []byte
+		err  error
+		name = "stdin"
+	)
+	switch flag.NArg() {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		name = flag.Arg(0)
+		data, err = os.ReadFile(name)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qcfe-promcheck: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(data); err != nil {
+		fmt.Fprintf(os.Stderr, "qcfe-promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("qcfe-promcheck: %s: valid exposition\n", name)
+}

@@ -18,6 +18,10 @@
 //	GET  /healthz                                       → fleet health + uniform generation
 //	GET  /stats                                         → merged fleet stats
 //	POST /rollout         admin: canary-gated fleet artifact rollout
+//	GET  /metrics                                       → Prometheus text exposition
+//	GET  /trace/recent                                  → recent finished request traces
+//	GET  /version                                       → build identification
+//	GET  /debug/pprof/    admin: net/http/pprof profiles
 //
 // Replica faults (connection errors, 5xx, hangs past -timeout) trip a
 // per-replica circuit breaker after -breaker-threshold consecutive
@@ -48,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -63,8 +68,15 @@ func main() {
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "background /healthz poll period")
 	adminToken := flag.String("admin-token", "", "enable POST /rollout, authenticated by this X-QCFE-Admin-Token value and presented to the replicas' /swap endpoints (empty = rollout disabled)")
 	bakeTime := flag.Duration("rollout-bake", 0, "pause after each replica's rollout commit before proceeding to the next")
+	slowQuery := flag.Duration("slow-query-threshold", 0, "log every routed request slower than this as one structured JSON line on stderr, with its trace ID and per-replica sub-batch spans (0 = off)")
+	traceRing := flag.Int("trace-ring", 0, "finished-request traces retained for GET /trace/recent (0 = 256)")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
+	if *showVersion {
+		printVersion("qcfe-router")
+		return
+	}
 	urls := splitReplicas(*replicas)
 	if len(urls) == 0 {
 		fmt.Fprintln(os.Stderr, "qcfe-router: -replicas is required")
@@ -72,15 +84,17 @@ func main() {
 		os.Exit(2)
 	}
 	rt, err := router.New(urls, router.Options{
-		Vnodes:           *vnodes,
-		Timeout:          *timeout,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-		MaxAttempts:      *maxAttempts,
-		RetryBackoff:     *retryBackoff,
-		HealthInterval:   *healthInterval,
-		AdminToken:       *adminToken,
-		RolloutBakeTime:  *bakeTime,
+		Vnodes:             *vnodes,
+		Timeout:            *timeout,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		MaxAttempts:        *maxAttempts,
+		RetryBackoff:       *retryBackoff,
+		HealthInterval:     *healthInterval,
+		AdminToken:         *adminToken,
+		RolloutBakeTime:    *bakeTime,
+		SlowQueryThreshold: *slowQuery,
+		TraceRing:          *traceRing,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qcfe-router: %v\n", err)
@@ -90,6 +104,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qcfe-router: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// printVersion reports the binary's build identity — the same fields
+// GET /version serves.
+func printVersion(name string) {
+	b := obs.Build()
+	fmt.Printf("%s %s (%s", name, orDev(b.Version), b.GoVersion)
+	if b.VCSRevision != "" {
+		rev := b.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Printf(", rev %s", rev)
+		if b.VCSModified {
+			fmt.Print("+dirty")
+		}
+	}
+	fmt.Println(")")
+}
+
+func orDev(v string) string {
+	if v == "" || v == "(devel)" {
+		return "devel"
+	}
+	return v
 }
 
 func splitReplicas(s string) []string {

@@ -16,6 +16,10 @@
 //	GET  /stats                                         → serving counters
 //	POST /swap            admin: stage/commit/rollback an artifact swap
 //	GET  /generation      admin: serving + staged artifact generations
+//	GET  /metrics                                       → Prometheus text exposition
+//	GET  /trace/recent                                  → recent finished request traces
+//	GET  /version                                       → build identification
+//	GET  /debug/pprof/    admin: net/http/pprof profiles
 //
 // The admin endpoints exist for qcfe-router's canary-gated fleet
 // rollouts and are enabled by -admin-token (disabled with 403 when the
@@ -76,6 +80,7 @@ import (
 	"time"
 
 	qcfe "repro"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/parallel"
 	"repro/internal/serve"
@@ -101,8 +106,15 @@ func main() {
 	tenantsSpec := flag.String("tenants", "", "multi-tenant mode: comma-separated name=artifact pairs (e.g. alpha=a.qcfe,beta=b.qcfe); mutually exclusive with -artifact")
 	tenantWeights := flag.String("tenant-weights", "", "with -tenants: comma-separated name=weight fair-share weights (unlisted tenants weigh 1)")
 	maxInflight := flag.Int("max-inflight", 0, "with -tenants: NN-path inflight-slot budget divided into weighted per-tenant floors (0 = 4×GOMAXPROCS)")
+	slowQuery := flag.Duration("slow-query-threshold", 0, "log every request slower than this as one structured JSON line on stderr, with its trace ID and stage spans (0 = off)")
+	traceRing := flag.Int("trace-ring", 0, "finished-request traces retained for GET /trace/recent (0 = 256)")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
+	if *showVersion {
+		printVersion("qcfe-serve")
+		return
+	}
 	if (*artifactPath == "") == (*tenantsSpec == "") {
 		fmt.Fprintln(os.Stderr, "qcfe-serve: exactly one of -artifact or -tenants is required")
 		flag.Usage()
@@ -124,10 +136,12 @@ func main() {
 		}
 	}
 	sopts := serve.Options{
-		MaxBatch:    *maxBatch,
-		BatchWindow: *batchWindow,
-		AdminToken:  *adminToken,
-		Advertise:   *advertise,
+		MaxBatch:           *maxBatch,
+		BatchWindow:        *batchWindow,
+		AdminToken:         *adminToken,
+		Advertise:          *advertise,
+		SlowQueryThreshold: *slowQuery,
+		TraceRing:          *traceRing,
 	}
 	var err error
 	if *tenantsSpec != "" {
@@ -204,6 +218,31 @@ func runMulti(specs, weightsSpec string, maxInflight int, addr string, opts serv
 	go reg.Run(ctx)
 
 	return serveHTTP(ctx, addr, reg.Handler())
+}
+
+// printVersion reports the binary's build identity — the same fields
+// GET /version serves.
+func printVersion(name string) {
+	b := obs.Build()
+	fmt.Printf("%s %s (%s", name, orDev(b.Version), b.GoVersion)
+	if b.VCSRevision != "" {
+		rev := b.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Printf(", rev %s", rev)
+		if b.VCSModified {
+			fmt.Print("+dirty")
+		}
+	}
+	fmt.Println(")")
+}
+
+func orDev(v string) string {
+	if v == "" || v == "(devel)" {
+		return "devel"
+	}
+	return v
 }
 
 // parseWeights parses "name=N,name=N" into a map.

@@ -43,6 +43,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/mscn"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/qppnet"
 	"repro/internal/router"
 	"repro/internal/serve"
@@ -62,6 +63,14 @@ type Row struct {
 // the train pairs feed the batched-vs-scalar speedup check.
 const (
 	Calib = "calib/fma"
+
+	// ObsHistRecord measures one obs.Histogram.Record — the two atomic
+	// adds every hot-path latency sample costs. It is the price PR 9's
+	// observability layer added to every serve/route/tenant fast path,
+	// so qcfe-bench -micro gates it at -max-hist-record-ns and the
+	// allocation gate pins it at zero: instrumentation must stay
+	// invisible on the serving plane.
+	ObsHistRecord = "obs/histogram-record"
 
 	NNForwardScalar   = "nn/forward-scalar"
 	NNForwardBatch    = "nn/forward-batch"
@@ -169,7 +178,7 @@ var Gated = []string{MSCNPredictBatch, QPPPredictBatch}
 // so allocs_per_op is an exact machine-independent invariant, unlike
 // the HTTP/fanout rows whose counts fold in scheduler and net/http
 // noise.
-var AllocGated = []string{QCacheHit, ServeWarm, ServeWarmPostSwap, ServeWarmMultiTenant}
+var AllocGated = []string{QCacheHit, ServeWarm, ServeWarmPostSwap, ServeWarmMultiTenant, ObsHistRecord}
 
 var sink float64
 
@@ -217,7 +226,7 @@ func Run() ([]Row, error) {
 	}
 	f := &encoding.Featurizer{Enc: encoding.New(ds.Schema), Snaps: snaps}
 
-	rows := []Row{run(Calib, 1, benchCalib)}
+	rows := []Row{run(Calib, 1, benchCalib), run(ObsHistRecord, 1, benchObsHistRecord)}
 	rows = append(rows, nnRows()...)
 
 	mm := mscn.New(f, 1)
@@ -721,6 +730,18 @@ func benchCalib(b *testing.B) {
 		}
 	}
 	sink = s
+}
+
+// benchObsHistRecord cycles the recorded duration through five decades
+// (1µs–10ms-ish) so the op exercises bucketFor on realistic latencies
+// rather than pinning one hot bucket line.
+func benchObsHistRecord(b *testing.B) {
+	b.ReportAllocs()
+	h := obs.NewHistogram()
+	durations := [...]time.Duration{1_000, 17_000, 250_000, 3_100_000, 42_000_000}
+	for i := 0; i < b.N; i++ {
+		h.Record(durations[i%len(durations)])
+	}
 }
 
 // nnRows measures the raw kernels on a fixed 64→32→32→1 MLP at batch 32.

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenGatherer builds a deterministic scrape covering every sample
+// kind the renderer emits: multi-label counters, gauges, label-value
+// escaping, and a histogram with skipped empty buckets.
+func goldenGatherer() *Gatherer {
+	g := NewGatherer()
+	g.Counter("qcfe_demo_requests_total", "Total demo requests.", 42)
+	g.Counter("qcfe_demo_requests_total", "help of later calls is ignored", 7, L("tenant", "acme"))
+	g.Gauge("qcfe_demo_queue_len", "Current demo queue length.", 3)
+	g.Gauge("qcfe_demo_escapes", "Help with \\ backslash and\nnewline.", 1,
+		L("path", `C:\tmp`), L("quote", `say "hi"`), L("nl", "a\nb"))
+	h := NewHistogram()
+	for _, d := range []time.Duration{
+		150 * time.Nanosecond, time.Microsecond,
+		time.Millisecond, time.Millisecond, time.Millisecond,
+		20 * time.Millisecond, time.Second,
+	} {
+		h.Record(d)
+	}
+	g.Histogram("qcfe_demo_latency_seconds", "Demo latency distribution.", h.Snapshot(),
+		L("tier", "prediction"))
+	return g
+}
+
+// TestExpositionGolden pins the rendered byte stream. Regenerate with
+// QCFE_UPDATE_GOLDEN=1 after an intentional format change.
+func TestExpositionGolden(t *testing.T) {
+	got := goldenGatherer().RenderText()
+	if err := ValidateExposition(got); err != nil {
+		t.Fatalf("rendered exposition invalid: %v\n%s", err, got)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("QCFE_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s (QCFE_UPDATE_GOLDEN=1 regenerates): %v\n%s", golden, err, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exposition drifted from golden (QCFE_UPDATE_GOLDEN=1 regenerates after intentional changes)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionHistogramInvariants: cumulative buckets are
+// non-decreasing, close with +Inf, and _count matches the +Inf bucket
+// while _sum carries the exact nanosecond total.
+func TestExpositionHistogramInvariants(t *testing.T) {
+	out := string(goldenGatherer().RenderText())
+	if !strings.Contains(out, `qcfe_demo_latency_seconds_bucket{tier="prediction",le="+Inf"} 7`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `qcfe_demo_latency_seconds_count{tier="prediction"} 7`) {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+	if !strings.Contains(out, `qcfe_demo_latency_seconds_sum{tier="prediction"} `) {
+		t.Fatalf("missing _sum:\n%s", out)
+	}
+	// Empty buckets are skipped: 7 observations land in ≤6 distinct
+	// buckets (three share one), so the full 497-register histogram
+	// renders at most 7 bucket lines plus +Inf.
+	n := strings.Count(out, "qcfe_demo_latency_seconds_bucket")
+	if n > 7 {
+		t.Fatalf("%d bucket lines; empty buckets are not being skipped", n)
+	}
+}
+
+// TestValidateExpositionRejects: the grammar checker actually bites.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE": "qcfe_x 1\n",
+		"bad value":          "# TYPE qcfe_x counter\nqcfe_x one\n",
+		"bad name":           "# TYPE 9qcfe counter\n9qcfe 1\n",
+		"empty line":         "# TYPE qcfe_x counter\n\nqcfe_x 1\n",
+		"malformed comment":  "#TYPE qcfe_x counter\n",
+		"interleaved blocks": "# TYPE qcfe_a counter\nqcfe_a 1\n# TYPE qcfe_b counter\nqcfe_b 1\n# TYPE qcfe_a counter\nqcfe_a 2\n",
+		"decreasing buckets": "# TYPE qcfe_h histogram\nqcfe_h_bucket{le=\"0.1\"} 5\nqcfe_h_bucket{le=\"+Inf\"} 3\n",
+		"count mismatch":     "# TYPE qcfe_h histogram\nqcfe_h_bucket{le=\"+Inf\"} 3\nqcfe_h_count 4\n",
+		"bucket without le":  "# TYPE qcfe_h histogram\nqcfe_h_bucket 3\n",
+		"unquoted label":     "# TYPE qcfe_x counter\nqcfe_x{t=v} 1\n",
+	}
+	for name, doc := range cases {
+		if err := ValidateExposition([]byte(doc)); err == nil {
+			t.Errorf("%s: validator accepted malformed document:\n%s", name, doc)
+		}
+	}
+	ok := "# HELP qcfe_x fine\n# TYPE qcfe_x counter\nqcfe_x{a=\"b\"} 1\nqcfe_x 2\n"
+	if err := ValidateExposition([]byte(ok)); err != nil {
+		t.Errorf("validator rejected well-formed document: %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a rendered document against the Prometheus
+// text-format grammar subset this package emits: well-formed HELP/TYPE
+// comments, valid metric and label names, parseable sample values,
+// one contiguous block per metric name with TYPE preceding its
+// samples, and — for histograms — non-decreasing cumulative buckets
+// closed by le="+Inf" with a matching _count. The golden test and the
+// per-daemon /metrics tests all run their output through it, so the
+// smoke jobs' curl|grep checks sit on top of a format that is verified
+// structurally in-tree.
+func ValidateExposition(data []byte) error {
+	var (
+		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+		labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+	)
+	typeOf := map[string]string{}      // metric name -> declared type
+	seenDone := map[string]bool{}      // block finished (name changed away)
+	current := ""                      // base name of the open block
+	lastBucket := map[string]float64{} // label-set key -> last cumulative
+	bucketTotal := map[string]float64{}
+
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && typeOf[b] == "histogram" {
+				return b
+			}
+		}
+		return name
+	}
+
+	for ln, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		switch {
+		case line == "":
+			return fmt.Errorf("line %d: empty line", ln+1)
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) == 0 || !nameRe.MatchString(parts[0]) {
+				return fmt.Errorf("line %d: bad HELP: %q", ln+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 || !nameRe.MatchString(parts[0]) {
+				return fmt.Errorf("line %d: bad TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown type %q", ln+1, parts[1])
+			}
+			if seenDone[parts[0]] {
+				return fmt.Errorf("line %d: metric %q re-opened; blocks must be contiguous", ln+1, parts[0])
+			}
+			if current != "" && current != parts[0] {
+				seenDone[current] = true
+			}
+			typeOf[parts[0]] = parts[1]
+			current = parts[0]
+		case strings.HasPrefix(line, "#"):
+			return fmt.Errorf("line %d: malformed comment: %q", ln+1, line)
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed sample: %q", ln+1, line)
+			}
+			name, labels, value := m[1], m[3], m[4]
+			b := base(name)
+			if typeOf[b] == "" {
+				return fmt.Errorf("line %d: sample %q before its TYPE", ln+1, name)
+			}
+			if b != current {
+				return fmt.Errorf("line %d: sample %q outside its block (open: %q)", ln+1, name, current)
+			}
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad value %q: %v", ln+1, value, err)
+			}
+			var le string
+			if labels != "" {
+				for _, pair := range splitLabels(labels) {
+					lm := labelRe.FindStringSubmatch(pair)
+					if lm == nil {
+						return fmt.Errorf("line %d: bad label %q", ln+1, pair)
+					}
+					if lm[1] == "le" {
+						le = lm[2]
+					}
+				}
+			}
+			if typeOf[b] == "histogram" && strings.HasSuffix(name, "_bucket") {
+				key := b + "|" + stripLe(labels)
+				if v < lastBucket[key] {
+					return fmt.Errorf("line %d: bucket counts decreased for %s", ln+1, key)
+				}
+				lastBucket[key] = v
+				if le == "+Inf" {
+					bucketTotal[key] = v
+				} else if le == "" {
+					return fmt.Errorf("line %d: _bucket without le label", ln+1)
+				}
+			}
+			if typeOf[b] == "histogram" && strings.HasSuffix(name, "_count") {
+				key := b + "|" + labels
+				if inf, ok := bucketTotal[key]; !ok || inf != v {
+					return fmt.Errorf("line %d: %s_count %v does not match le=\"+Inf\" bucket %v", ln+1, b, v, inf)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// stripLe removes the le label from a label body so bucket series of
+// one histogram sample share a key.
+func stripLe(labels string) string {
+	var keep []string
+	for _, p := range splitLabels(labels) {
+		if !strings.HasPrefix(p, `le="`) {
+			keep = append(keep, p)
+		}
+	}
+	return strings.Join(keep, ",")
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary — the /version endpoint and
+// the -version flags report it so a trace or metrics scrape can be
+// correlated with a deploy.
+type BuildInfo struct {
+	GoVersion   string `json:"go_version"`
+	Module      string `json:"module,omitempty"`
+	Version     string `json:"version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build reads the binary's build information once (runtime/debug) and
+// caches it. Works in tests and `go run` too — fields absent from the
+// build simply stay empty.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Module = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.VCSRevision = s.Value
+			case "vcs.time":
+				buildInfo.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfo.VCSModified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// WriteBuildMetrics emits the conventional info-style gauge: constant
+// 1 with the identifying fields as labels.
+func WriteBuildMetrics(g *Gatherer, extra ...Label) {
+	b := Build()
+	labels := append([]Label{
+		L("go_version", b.GoVersion),
+		L("version", b.Version),
+		L("revision", b.VCSRevision),
+	}, extra...)
+	g.Gauge("qcfe_build_info", "Build identification (constant 1; identity in labels).", 1, labels...)
+}

@@ -35,6 +35,7 @@ import (
 
 	qcfe "repro"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/workload"
 )
@@ -134,6 +135,23 @@ type Stats struct {
 	RetrainErrors int64 `json:"retrain_errors"`
 	// Swaps counts estimators installed into the serving layer.
 	Swaps int64 `json:"swaps"`
+}
+
+// WriteMetrics renders the drift block for a Prometheus scrape
+// (obs.MetricsWriter). serve's /metrics discovers it through the
+// interface on the DriftStats() value, so this package stays the only
+// one that knows the field meanings.
+func (st Stats) WriteMetrics(g *obs.Gatherer, extra ...obs.Label) {
+	g.Counter("qcfe_drift_observed_total", "Estimates reported to the drift monitor.", st.Observed, extra...)
+	g.Counter("qcfe_drift_sampled_total", "Observations that entered the labeling queue.", st.Sampled, extra...)
+	g.Counter("qcfe_drift_dropped_total", "Observations shed because the labeling queue was full.", st.Dropped, extra...)
+	g.Counter("qcfe_drift_labeled_total", "Samples labeled into the sliding window.", st.Labeled, extra...)
+	g.Counter("qcfe_drift_label_errors_total", "Label replay failures.", st.LabelErrors, extra...)
+	g.Gauge("qcfe_drift_window_fill", "Current sliding-window occupancy.", float64(st.WindowFill), extra...)
+	g.Gauge("qcfe_drift_median_q_error", "Rolling median q-error of served predictions.", st.MedianQError, extra...)
+	g.Counter("qcfe_drift_retrains_total", "Completed incremental retrains.", st.Retrains, extra...)
+	g.Counter("qcfe_drift_retrain_errors_total", "Retrain attempts that failed.", st.RetrainErrors, extra...)
+	g.Counter("qcfe_drift_swaps_total", "Adapted estimators installed into serving.", st.Swaps, extra...)
 }
 
 // observation is one served estimate in flight to the labeling loop.

@@ -76,8 +76,10 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/encoding"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 )
 
@@ -274,6 +276,14 @@ type tier struct {
 	misses    atomic.Int64
 	stores    atomic.Int64
 	evictions atomic.Int64
+
+	// hist, when attached, records every lookup's latency (hit or miss).
+	// Behind an atomic pointer so the serving layer can attach after
+	// construction without racing in-flight lookups; nil (the default)
+	// costs one atomic load and records nothing. Recording is two atomic
+	// adds into pre-allocated registers — the zero-alloc warm path stays
+	// zero-alloc with observation enabled.
+	hist atomic.Pointer[obs.Histogram]
 }
 
 func newTier(shards, capacity int) *tier {
@@ -308,6 +318,17 @@ func (t *tier) shardFor(key Key) *shard { return t.shards[key.hash()&t.mask] }
 // working set migrates into the snapshot after at most `pending` locked
 // probes and then never contends again.
 func (t *tier) get(key Key, g uint64) (any, bool) {
+	if h := t.hist.Load(); h != nil {
+		t0 := time.Now()
+		v, ok := t.lookup(key, g)
+		h.Record(time.Since(t0))
+		return v, ok
+	}
+	return t.lookup(key, g)
+}
+
+// lookup is get's uninstrumented body.
+func (t *tier) lookup(key Key, g uint64) (any, bool) {
 	s := t.shardFor(key)
 	if m := s.read.Load(); m != nil {
 		if sl, ok := (*m)[key]; ok {
@@ -551,6 +572,18 @@ func (c *QueryCache) GetPrediction(key Key, g uint64) (float64, bool) {
 // PutPrediction memoizes one prediction.
 func (c *QueryCache) PutPrediction(key Key, g uint64, ms float64) {
 	c.prediction.put(c.stamp(key), g, ms)
+}
+
+// SetLookupHistograms attaches per-tier lookup-latency histograms
+// (internal/obs): every get on a tier — hit or miss, lock-free or via
+// the slow path — records its duration into that tier's histogram. A
+// nil histogram detaches its tier. The serving layer attaches these so
+// /metrics can render qcfe_qcache_lookup_seconds{tier=...}; the
+// library never requires them.
+func (c *QueryCache) SetLookupHistograms(template, feature, prediction *obs.Histogram) {
+	c.template.hist.Store(template)
+	c.feature.hist.Store(feature)
+	c.prediction.hist.Store(prediction)
 }
 
 // Stats snapshots all counters.

@@ -1,10 +1,14 @@
 package router
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"sync"
@@ -12,6 +16,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/sqlparse"
 )
 
@@ -388,6 +394,154 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("fleet never converged after chaos: %v", err)
 	}
 	assertBitsEqual(t, got, want, "post-chaos convergence")
+}
+
+// TestTraceIDSurvivesFailover: the X-QCFE-Trace-ID a request enters
+// the router with is stamped on every scattered sub-batch, and a
+// failover retry re-dispatches with the ORIGINAL id — so a slow or
+// retried query remains traceable end to end across the fleet, and the
+// router's /trace/recent shows the per-replica sub-batch spans.
+func TestTraceIDSurvivesFailover(t *testing.T) {
+	const n = 3
+	var mu sync.Mutex
+	seen := make([]map[string]int, n) // replica index -> trace id -> sub-batches
+	modes := make([]*atomic.Int32, n)
+	for i := range seen {
+		seen[i] = map[string]int{}
+		modes[i] = &atomic.Int32{}
+	}
+	f := startFleet(t, n, func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Capture BEFORE the fault: a dropped request still proves
+			// which trace id it arrived with.
+			if id := r.Header.Get(obs.TraceHeader); id != "" && r.URL.Path == "/estimate_batch" {
+				mu.Lock()
+				seen[i][id]++
+				mu.Unlock()
+			}
+			if modes[i].Load() == modeDrop {
+				panic(http.ErrAbortHandler)
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	rt := newTestRouter(t, f, chaosRouterOptions())
+	edge := httptest.NewServer(rt.Handler())
+	defer edge.Close()
+
+	sqls := make([]string, 12)
+	for i := range sqls {
+		sqls[i] = testSQL(i)
+	}
+	post := func(traceID string) (string, error) {
+		body, err := json.Marshal(serve.BatchRequest{Env: 0, SQLs: sqls})
+		if err != nil {
+			return "", err
+		}
+		req, err := http.NewRequest(http.MethodPost, edge.URL+"/estimate_batch", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceID != "" {
+			req.Header.Set(obs.TraceHeader, traceID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return resp.Header.Get(obs.TraceHeader), nil
+	}
+
+	// Healthy fleet: the router mints an id, echoes it, and every
+	// sub-batch carried exactly that id.
+	minted, err := post("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minted) != 32 {
+		t.Fatalf("minted trace id %q, want 32 hex chars", minted)
+	}
+	mu.Lock()
+	for i := range seen {
+		for id := range seen[i] {
+			if id != minted {
+				t.Fatalf("replica %d saw trace id %q, want only the minted %q", i, id, minted)
+			}
+		}
+	}
+	mu.Unlock()
+
+	// Break the replica that owns the first query's key, then send a
+	// request with a caller-supplied trace id: the victim's aborted
+	// sub-batch AND its failover retry must both carry that exact id.
+	victim := rt.ring.sequence(sqlparse.RoutingHash(sqls[0]))[0]
+	modes[victim].Store(modeDrop)
+	const fixed = "00112233445566778899aabbccddeeff"
+	echoed, err := post(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echoed != fixed {
+		t.Fatalf("router echoed trace id %q, want the caller's %q", echoed, fixed)
+	}
+	mu.Lock()
+	if seen[victim][fixed] == 0 {
+		t.Fatalf("victim replica %d never saw the original trace id before dropping", victim)
+	}
+	carriers := 0
+	for i := range seen {
+		if seen[i][fixed] > 0 {
+			carriers++
+		}
+	}
+	mu.Unlock()
+	if carriers < 2 {
+		t.Fatalf("trace id reached %d replica(s), want >= 2 (original dispatch + failover retry)", carriers)
+	}
+	if rt.retries.Load() == 0 {
+		t.Fatal("no retry happened; the failover path was never exercised")
+	}
+
+	// The router's ring retains the trace with its per-replica sub-batch
+	// spans and the merge marker.
+	resp, err := http.Get(edge.URL + "/trace/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []obs.TraceRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	var rec *obs.TraceRecord
+	for k := range recs {
+		if recs[k].TraceID == fixed {
+			rec = &recs[k]
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatalf("/trace/recent has no record for %q (got %d records)", fixed, len(recs))
+	}
+	subbatches, merges := 0, 0
+	for _, sp := range rec.Spans {
+		switch sp.Stage {
+		case "subbatch":
+			subbatches++
+		case "merge":
+			merges++
+		}
+	}
+	if subbatches < 2 || merges != 1 {
+		t.Fatalf("trace %q spans: %d subbatch + %d merge, want >=2 subbatch and exactly 1 merge: %+v",
+			fixed, subbatches, merges, rec.Spans)
+	}
 }
 
 func tripSummary(rt *Router) string {

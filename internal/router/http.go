@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -25,7 +27,7 @@ import (
 // — mirroring the replica-side /swap surface it drives.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/estimate", rt.traced("estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.EstimateRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -36,8 +38,8 @@ func (rt *Router) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, serve.EstimateResponse{Ms: ms})
-	})
-	mux.HandleFunc("/estimate_batch", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/estimate_batch", rt.traced("estimate_batch", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.BatchRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -51,7 +53,7 @@ func (rt *Router) Handler() http.Handler {
 			ms = []float64{}
 		}
 		writeJSON(w, http.StatusOK, serve.BatchResponse{Ms: ms})
-	})
+	}))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !requireGet(w, r) {
 			return
@@ -111,7 +113,72 @@ func (rt *Router) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.Handle("/metrics", obs.MetricsHandler(func(g *obs.Gatherer) {
+		rt.WriteMetrics(g)
+		obs.WriteBuildMetrics(g)
+	}))
+	mux.HandleFunc("/trace/recent", func(w http.ResponseWriter, r *http.Request) {
+		if !requireGet(w, r) {
+			return
+		}
+		max := 50
+		if v := r.URL.Query().Get("n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad n: %q", v))
+				return
+			}
+			max = n
+		}
+		recs := rt.tracer.Recent(max)
+		if recs == nil {
+			recs = []obs.TraceRecord{}
+		}
+		writeJSON(w, http.StatusOK, recs)
+	})
+	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
+		if !requireGet(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, obs.Build())
+	})
+	mux.Handle("/debug/pprof/", obs.PprofHandler(rt.opts.AdminToken))
 	return mux
+}
+
+// traced wraps a routed data-plane handler with request tracing: the
+// router is typically the edge, so it usually mints the trace ID (an
+// inbound one is honored), attaches the trace to the request context —
+// scatter forwards the ID on every sub-batch, retries included — echoes
+// it back, and finishes the trace into the router's /trace/recent ring
+// and slow-query log.
+func (rt *Router) traced(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.TraceHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		tr := obs.NewTrace(id)
+		w.Header().Set(obs.TraceHeader, id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(obs.ContextWithTrace(r.Context(), tr)))
+		var err error
+		if sw.code >= 400 {
+			err = fmt.Errorf("http %d", sw.code)
+		}
+		rt.tracer.Finish(tr, op, r.Header.Get(serve.TenantHeader), err)
+	}
+}
+
+// statusWriter captures the reply status for the finished trace.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
 }
 
 // HealthResponse is the router's /healthz reply. Generation is set only

@@ -26,9 +26,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -69,6 +71,12 @@ type Options struct {
 	// round trips (tests inject httptest clients); Timeout still
 	// applies per request via context.
 	Client *http.Client
+	// SlowQueryThreshold, when positive, logs every routed request
+	// slower than this as one structured JSON line on stderr (trace ID,
+	// per-replica sub-batch spans, total duration). Zero disables it.
+	SlowQueryThreshold time.Duration
+	// TraceRing bounds the /trace/recent ring buffer (default 256).
+	TraceRing int
 }
 
 func (o Options) withDefaults() Options {
@@ -100,10 +108,11 @@ type replica struct {
 	client  *serve.Client
 	breaker *breaker
 
-	healthy  atomic.Bool  // last health probe or request outcome
-	lastGen  atomic.Value // string: generation from the last successful /healthz
-	requests atomic.Int64 // queries sent (sub-batches count their size)
-	failures atomic.Int64 // replica-fault round trips
+	healthy  atomic.Bool    // last health probe or request outcome
+	lastGen  atomic.Value   // string: generation from the last successful /healthz
+	requests atomic.Int64   // queries sent (sub-batches count their size)
+	failures atomic.Int64   // replica-fault round trips
+	histSub  *obs.Histogram // sub-batch round-trip latency to this replica
 }
 
 // Router fans requests out over the replica fleet. Construct with New;
@@ -123,6 +132,9 @@ type Router struct {
 	errors       atomic.Int64 // requests that returned an error
 	rollouts     atomic.Int64 // successful fleet rollouts
 	rollbacks    atomic.Int64 // rollouts aborted and rolled back
+
+	histRequest *obs.Histogram // whole routed request (scatter → merge)
+	tracer      *obs.Tracer    // router-edge trace ring + slow-query log
 }
 
 // New builds a router over the replica base URLs. The URL list is the
@@ -135,12 +147,19 @@ func New(replicaURLs []string, opts Options) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := &Router{opts: o, ring: rg, start: time.Now()}
+	rt := &Router{
+		opts:        o,
+		ring:        rg,
+		start:       time.Now(),
+		histRequest: obs.NewHistogram(),
+		tracer:      obs.NewTracer(o.TraceRing, o.SlowQueryThreshold, os.Stderr),
+	}
 	for _, u := range replicaURLs {
 		rep := &replica{
 			id:      u,
 			client:  &serve.Client{BaseURL: u, HTTP: o.Client, AdminToken: o.AdminToken},
 			breaker: newBreaker(o.BreakerThreshold, o.BreakerCooldown),
+			histSub: obs.NewHistogram(),
 		}
 		rep.healthy.Store(true) // optimistic until a probe or request says otherwise
 		rep.lastGen.Store("")

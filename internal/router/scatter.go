@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -96,6 +97,17 @@ func tenantKey(h uint64, tenant string) uint64 {
 func (rt *Router) scatter(ctx context.Context, tenant string, env int, sqls []string) ([]float64, error) {
 	if len(sqls) == 0 {
 		return []float64{}, nil
+	}
+	reqStart := time.Now()
+	defer rt.histRequest.RecordSince(reqStart)
+	// The request's trace (nil when untraced) is forwarded on EVERY
+	// sub-batch dispatch below — including failover retries, which reuse
+	// the same trace and therefore the same X-QCFE-Trace-ID. The chaos
+	// tests pin that survival contract.
+	tr := obs.TraceFrom(ctx)
+	traceID := ""
+	if tr != nil {
+		traceID = tr.ID
 	}
 	maxAttempts := rt.opts.MaxAttempts
 	if maxAttempts <= 0 || maxAttempts > len(rt.replicas) {
@@ -191,11 +203,15 @@ func (rt *Router) scatter(ctx context.Context, tenant string, env int, sqls []st
 			go func(ri int, rep *replica, indices []int, sub []string) {
 				cctx, cancel := context.WithTimeout(ctx, rt.opts.Timeout)
 				defer cancel()
-				// Per-call client copy: the caller's tenant rides to the
-				// replica as the X-QCFE-Tenant header.
+				// Per-call client copy: the caller's tenant and trace ID
+				// ride to the replica as headers.
 				cl := *rep.client
 				cl.Tenant = tenant
+				cl.TraceID = traceID
+				subStart := time.Now()
 				ms, err := cl.EstimateBatch(cctx, env, sub)
+				rep.histSub.RecordSince(subStart)
+				tr.AddSpan("subbatch", rep.id, subStart)
 				resCh <- groupResult{replica: ri, indices: indices, ms: ms, err: err}
 			}(ri, rep, indices, sub)
 		}
@@ -244,6 +260,12 @@ func (rt *Router) scatter(ctx context.Context, tenant string, env int, sqls []st
 		}
 		sort.Ints(newPending)
 		pending = newPending
+	}
+	// Gather is index-addressed as replies arrive, so "merge" is a
+	// completion marker (offset = when the last slot filled), not a
+	// phase with its own duration.
+	if tr != nil {
+		tr.AddSpan("merge", fmt.Sprintf("%d queries", len(sqls)), time.Now())
 	}
 	return results, nil
 }

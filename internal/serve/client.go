@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client is a typed HTTP client for one qcfe-serve replica — the
@@ -30,6 +32,12 @@ type Client struct {
 	// registry (internal/tenant). Single-tenant servers ignore it. The
 	// router sets it per request to forward the caller's tenant.
 	Tenant string
+	// TraceID, when non-empty, is sent as the X-QCFE-Trace-ID header on
+	// every call, so a scattered sub-batch carries its originating
+	// request's trace through the fleet. The router sets it per request
+	// from the inbound trace; retries reuse the same ID by construction
+	// (the chaos tests pin that).
+	TraceID string
 	// Timeout bounds each call that arrives with a context carrying no
 	// deadline: the call runs under a derived context with this
 	// deadline. A context that already has a deadline is used as-is —
@@ -91,6 +99,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, admin
 	}
 	if c.Tenant != "" {
 		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	if c.TraceID != "" {
+		req.Header.Set(obs.TraceHeader, c.TraceID)
 	}
 	hc := c.HTTP
 	if hc == nil {

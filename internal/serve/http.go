@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	qcfe "repro"
+	"repro/internal/obs"
 )
 
 // HTTP request/response bodies. The /estimate_batch response shape
@@ -133,7 +135,7 @@ type errorResponse struct {
 // adaptation is enabled.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/estimate", s.traced("estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req EstimateRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -144,8 +146,8 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, EstimateResponse{Ms: ms})
-	})
-	mux.HandleFunc("/estimate_batch", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/estimate_batch", s.traced("estimate_batch", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -159,7 +161,7 @@ func (s *Server) Handler() http.Handler {
 			ms = []float64{}
 		}
 		writeJSON(w, http.StatusOK, BatchResponse{Ms: ms})
-	})
+	}))
 	mux.HandleFunc("/shadow", func(w http.ResponseWriter, r *http.Request) {
 		var req ShadowRequest
 		if !decodeJSON(w, r, &req) {
@@ -213,7 +215,82 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, s.StatsSnapshot())
 	})
+	mux.Handle("/metrics", obs.MetricsHandler(func(g *obs.Gatherer) {
+		s.WriteMetrics(g)
+		obs.WriteBuildMetrics(g)
+	}))
+	mux.HandleFunc("/trace/recent", s.handleTraceRecent)
+	mux.HandleFunc("/version", handleVersion)
+	// pprof rides behind the same admin token as /swap — present on
+	// every deployment but inert (403) until a token is configured.
+	mux.Handle("/debug/pprof/", obs.PprofHandler(s.opts.AdminToken))
 	return mux
+}
+
+// traced wraps a data-plane handler with request tracing: the inbound
+// X-QCFE-Trace-ID is honored (a router hop arrives mid-trace) or a
+// fresh ID minted, the trace rides the request context so every layer
+// below — coalescer, library, cache — can append stage spans, the ID is
+// echoed in the response headers, and the finished trace lands in the
+// /trace/recent ring (and the slow-query log past the threshold).
+func (s *Server) traced(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.TraceHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		tr := obs.NewTrace(id)
+		w.Header().Set(obs.TraceHeader, id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(obs.ContextWithTrace(r.Context(), tr)))
+		var err error
+		if sw.code >= 400 {
+			err = fmt.Errorf("http %d", sw.code)
+		}
+		s.tracer.Finish(tr, op, r.Header.Get(TenantHeader), err)
+	}
+}
+
+// statusWriter captures the reply status so a finished trace records
+// whether the request failed.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// handleTraceRecent serves the ring of recently finished traces,
+// newest first; ?n= bounds the count (default 50).
+func (s *Server) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	max := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n: %q", v))
+			return
+		}
+		max = n
+	}
+	recs := s.tracer.Recent(max)
+	if recs == nil {
+		recs = []obs.TraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+// handleVersion reports the binary's build identification.
+func handleVersion(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, obs.Build())
 }
 
 // StatsSnapshot assembles the /stats reply body: serving counters plus

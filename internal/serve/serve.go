@@ -25,11 +25,13 @@ package serve
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	qcfe "repro"
+	"repro/internal/obs"
 )
 
 // Estimator is the slice of the qcfe API the server needs.
@@ -100,6 +102,13 @@ type Options struct {
 	// (typically its externally reachable address). Purely
 	// informational: the router logs and stats use it to name replicas.
 	Advertise string
+	// SlowQueryThreshold, when positive, makes the server log every HTTP
+	// request slower than this as one structured JSON line on stderr
+	// (trace ID, per-stage spans, total duration). Zero disables the
+	// slow-query log; /trace/recent retains recent traces either way.
+	SlowQueryThreshold time.Duration
+	// TraceRing bounds the /trace/recent ring buffer (default 256).
+	TraceRing int
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +168,13 @@ type request struct {
 	env   *qcfe.Environment
 	sql   string
 	reply chan result
+	// enq stamps when the request entered the queue; the batcher records
+	// the queue-wait histogram (and a queue_wait span on traced requests)
+	// from it. tr is the request's trace, nil on untraced paths — every
+	// obs.Trace method is a no-op on nil, so the pooled field costs
+	// nothing when tracing is off.
+	enq time.Time
+	tr  *obs.Trace
 }
 
 var reqPool = sync.Pool{
@@ -171,6 +187,7 @@ var reqPool = sync.Pool{
 func putRequest(r *request) {
 	r.env = nil
 	r.sql = ""
+	r.tr = nil
 	reqPool.Put(r)
 }
 
@@ -208,19 +225,61 @@ type Server struct {
 	cacheHits     atomic.Int64
 	swaps         atomic.Int64
 	errors        atomic.Int64
+
+	// Latency histograms (internal/obs): pre-allocated once, recorded
+	// into with two atomic adds per observation — cheap enough to stay on
+	// the zero-alloc warm path. The three cache-tier histograms are owned
+	// here and attached to the estimator's query cache (when it has one)
+	// so they survive hot swaps: SwapEstimator re-attaches the same
+	// registers to the incoming estimator's cache.
+	histWarm      *obs.Histogram // Estimate/EstimateCached warm prediction-tier hits
+	histQueueWait *obs.Histogram // enqueue → batcher pickup (coalescing wait)
+	histFlush     *obs.Histogram // whole coalesced micro-batch flushes
+	histCacheTpl  *obs.Histogram // qcache template-tier lookups
+	histCacheFeat *obs.Histogram // qcache feature-tier lookups
+	histCachePred *obs.Histogram // qcache prediction-tier lookups
+
+	// tracer owns this server's /trace/recent ring and slow-query log.
+	tracer *obs.Tracer
 }
 
 // New builds a server over a loaded estimator.
 func New(est Estimator, opts Options) *Server {
 	o := opts.withDefaults()
 	s := &Server{
-		opts:  o,
-		queue: make(chan *request, o.QueueDepth),
-		start: time.Now(),
+		opts:          o,
+		queue:         make(chan *request, o.QueueDepth),
+		start:         time.Now(),
+		histWarm:      obs.NewHistogram(),
+		histQueueWait: obs.NewHistogram(),
+		histFlush:     obs.NewHistogram(),
+		histCacheTpl:  obs.NewHistogram(),
+		histCacheFeat: obs.NewHistogram(),
+		histCachePred: obs.NewHistogram(),
+		tracer:        obs.NewTracer(o.TraceRing, o.SlowQueryThreshold, os.Stderr),
 	}
 	s.cur.Store(&estBox{est: est})
+	s.attachCacheHists(est)
 	return s
 }
+
+// attachCacheHists points the estimator's query-cache tiers at this
+// server's lookup histograms. The estimator interface stays narrow —
+// only estimators that actually expose a query cache (the concrete
+// *qcfe.CostEstimator does) get tier timing; fakes without one simply
+// record nothing.
+func (s *Server) attachCacheHists(est Estimator) {
+	if ce, ok := est.(interface{ Cache() *qcfe.QueryCache }); ok {
+		if c := ce.Cache(); c != nil {
+			c.SetLookupHistograms(s.histCacheTpl, s.histCacheFeat, s.histCachePred)
+		}
+	}
+}
+
+// Tracer exposes the server's trace sink so the HTTP layer (and the
+// multi-tenant registry embedding per-tenant servers) can finish traces
+// and serve /trace/recent from it.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Estimator returns the currently installed estimator. Request paths
 // load it exactly once and use that snapshot throughout, so every
@@ -238,6 +297,9 @@ func (s *Server) Estimator() Estimator { return s.cur.Load().est }
 func (s *Server) SwapEstimator(next Estimator) {
 	s.cur.Store(&estBox{est: next})
 	s.swaps.Add(1)
+	// The incoming estimator's cache records into the same histogram
+	// registers, so tier latency series are continuous across swaps.
+	s.attachCacheHists(next)
 }
 
 // SetMonitor attaches a drift monitor. Call during setup, before
@@ -310,8 +372,17 @@ func (s *Server) flush(ctx context.Context, batch []*request) {
 	// is computed wholly by one model, even if a hot swap lands mid-way.
 	est := s.Estimator()
 	s.flushes.Add(1)
+	flushStart := time.Now()
+	defer s.histFlush.RecordSince(flushStart)
 	if len(batch) > 1 {
 		s.coalesced.Add(int64(len(batch)))
+	}
+	// Queue wait ends here for every request in the batch. Spans must be
+	// recorded before a request's reply is sent: the HTTP edge finishes
+	// the trace the moment the reply arrives.
+	for _, r := range batch {
+		s.histQueueWait.RecordSince(r.enq)
+		r.tr.AddSpan("queue_wait", "", r.enq)
 	}
 	// Group by environment ID, preserving order: order indexes the
 	// batch's requests per group.
@@ -330,10 +401,16 @@ func (s *Server) flush(ctx context.Context, batch []*request) {
 		for i, r := range group {
 			sqls[i] = r.sql
 		}
+		groupStart := time.Now()
 		ms, err := est.EstimateSQLBatchCtx(ctx, group[0].env, sqls)
 		if err == nil {
 			for i, r := range group {
 				s.observe(est, r.env, r.sql, ms[i])
+				// The whole group shares one batched inference call; each
+				// trace gets it as its predict span (the finer featurize/
+				// predict split shows up on traced /estimate_batch calls,
+				// which carry their context into the library).
+				r.tr.AddSpan("predict", fmt.Sprintf("batch=%d", len(group)), groupStart)
 				r.reply <- result{ms: ms[i]}
 			}
 			continue
@@ -349,12 +426,14 @@ func (s *Server) flush(ctx context.Context, batch []*request) {
 		}
 		// Isolate the failure: price each request alone.
 		for _, r := range group {
+			soloStart := time.Now()
 			v, rerr := est.EstimateSQL(r.env, r.sql)
 			if rerr != nil {
 				s.errors.Add(1)
 			} else {
 				s.observe(est, r.env, r.sql, v)
 			}
+			r.tr.AddSpan("predict", "solo-fallback", soloStart)
 			r.reply <- result{ms: v, err: rerr}
 		}
 	}
@@ -389,6 +468,7 @@ func (s *Server) EnvByID(id int) (*qcfe.Environment, error) {
 // the batcher replies or ctx is cancelled; predictions are bit-identical
 // to the library's EstimateSQL.
 func (s *Server) Estimate(ctx context.Context, envID int, sql string) (float64, error) {
+	t0 := time.Now()
 	env, err := s.EnvByID(envID)
 	if err != nil {
 		s.errors.Add(1)
@@ -400,14 +480,22 @@ func (s *Server) Estimate(ctx context.Context, envID int, sql string) (float64, 
 	// gather. Misses (and cacheless estimators) coalesce as before.
 	// (Coalesced requests are observed inside flush, which holds the
 	// estimator snapshot that actually priced them.)
+	// tr is nil on untraced paths (benchmarks, in-process callers) and
+	// every use below degrades to a no-op — the warm path stays at zero
+	// allocations with histogram recording on.
+	tr := obs.TraceFrom(ctx)
 	est := s.Estimator()
 	if ms, ok := est.CachedEstimate(env, sql); ok {
 		s.cacheHits.Add(1)
 		s.observe(est, env, sql, ms)
+		s.histWarm.RecordSince(t0)
+		tr.AddSpan("probe", "warm", t0)
 		return ms, nil
 	}
+	tr.AddSpan("probe", "miss", t0)
 	r := reqPool.Get().(*request)
 	r.env, r.sql = env, sql
+	r.enq, r.tr = time.Now(), tr
 	select {
 	case s.queue <- r:
 	case <-ctx.Done():
@@ -438,6 +526,7 @@ func (s *Server) Estimate(ctx context.Context, envID int, sql string) (float64, 
 // ladder's rung-2 path: prediction-tier hits are served at every load
 // level, only misses compete for NN capacity.
 func (s *Server) EstimateCached(envID int, sql string) (float64, bool, error) {
+	t0 := time.Now()
 	env, err := s.EnvByID(envID)
 	if err != nil {
 		s.errors.Add(1)
@@ -451,6 +540,7 @@ func (s *Server) EstimateCached(envID int, sql string) (float64, bool, error) {
 	s.requests.Add(1)
 	s.cacheHits.Add(1)
 	s.observe(est, env, sql, ms)
+	s.histWarm.RecordSince(t0)
 	return ms, true, nil
 }
 
@@ -483,16 +573,23 @@ func (s *Server) EstimateBatch(ctx context.Context, envID int, sqls []string) ([
 	return ms, nil
 }
 
-// Stats snapshots the server counters.
+// Stats snapshots the server counters. The counters are independent
+// atomics, so a concurrent snapshot cannot be a single consistent cut —
+// but it CAN preserve the invariants readers rely on. Every increment
+// path bumps requests before cacheHits, so loading cacheHits (and
+// flushes/coalesced, which trail requests the same way) BEFORE requests
+// guarantees Requests ≥ CacheHits and a non-negative MeanBatch even
+// under full load. /stats, /metrics, and the tenant registry all read
+// through this one method, so every surface reports the same shape.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:      s.requests.Load(),
-		BatchRequests: s.batchRequests.Load(),
+		CacheHits:     s.cacheHits.Load(),
 		Flushes:       s.flushes.Load(),
 		Coalesced:     s.coalesced.Load(),
-		CacheHits:     s.cacheHits.Load(),
+		BatchRequests: s.batchRequests.Load(),
 		Swaps:         s.swaps.Load(),
 		Errors:        s.errors.Load(),
+		Requests:      s.requests.Load(),
 	}
 	if st.Flushes > 0 {
 		st.MeanBatch = float64(st.Requests-st.CacheHits) / float64(st.Flushes)

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -53,7 +54,7 @@ func (r *Registry) Handler() http.Handler {
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/estimate", func(w http.ResponseWriter, req *http.Request) {
+	mux.HandleFunc("/estimate", r.traced("estimate", func(w http.ResponseWriter, req *http.Request) {
 		var body serve.EstimateRequest
 		if !decodeJSON(w, req, &body) {
 			return
@@ -64,8 +65,8 @@ func (r *Registry) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, serve.EstimateResponse{Ms: ms, Degraded: degraded})
-	})
-	mux.HandleFunc("/estimate_batch", func(w http.ResponseWriter, req *http.Request) {
+	}))
+	mux.HandleFunc("/estimate_batch", r.traced("estimate_batch", func(w http.ResponseWriter, req *http.Request) {
 		var body serve.BatchRequest
 		if !decodeJSON(w, req, &body) {
 			return
@@ -79,7 +80,7 @@ func (r *Registry) Handler() http.Handler {
 			ms = []float64{}
 		}
 		writeJSON(w, http.StatusOK, serve.BatchResponse{Ms: ms, Degraded: degraded})
-	})
+	}))
 	mux.HandleFunc("/shadow", func(w http.ResponseWriter, req *http.Request) {
 		delegate(w, req, true)
 	})
@@ -121,7 +122,71 @@ func (r *Registry) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, r.Stats())
 	})
+	mux.Handle("/metrics", obs.MetricsHandler(func(g *obs.Gatherer) {
+		r.WriteMetrics(g)
+		obs.WriteBuildMetrics(g)
+	}))
+	mux.HandleFunc("/trace/recent", func(w http.ResponseWriter, req *http.Request) {
+		if !requireGet(w, req) {
+			return
+		}
+		max := 50
+		if v := req.URL.Query().Get("n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad n: %q", v))
+				return
+			}
+			max = n
+		}
+		recs := r.tracer.Recent(max)
+		if recs == nil {
+			recs = []obs.TraceRecord{}
+		}
+		writeJSON(w, http.StatusOK, recs)
+	})
+	mux.HandleFunc("/version", func(w http.ResponseWriter, req *http.Request) {
+		if !requireGet(w, req) {
+			return
+		}
+		writeJSON(w, http.StatusOK, obs.Build())
+	})
+	mux.Handle("/debug/pprof/", obs.PprofHandler(r.opts.Serve.AdminToken))
 	return mux
+}
+
+// traced wraps a registry data-plane handler with request tracing:
+// inbound X-QCFE-Trace-ID honored or a fresh ID minted, the trace rides
+// the context through admission and the tenant's server (admit,
+// queue_wait, predict spans), the ID is echoed back, and the finished
+// trace lands in the registry's /trace/recent ring.
+func (r *Registry) traced(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		id := req.Header.Get(obs.TraceHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		tr := obs.NewTrace(id)
+		w.Header().Set(obs.TraceHeader, id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, req.WithContext(obs.ContextWithTrace(req.Context(), tr)))
+		var err error
+		if sw.code >= 400 {
+			err = fmt.Errorf("http %d", sw.code)
+		}
+		r.tracer.Finish(tr, op, req.Header.Get(serve.TenantHeader), err)
+	}
+}
+
+// statusWriter captures the reply status for the finished trace.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
 }
 
 // tenantName applies the resolution order: header, then body field.

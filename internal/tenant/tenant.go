@@ -34,12 +34,14 @@ package tenant
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
 
 	qcfe "repro"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -106,6 +108,14 @@ type Tenant struct {
 	warm     atomic.Int64 // rung-2 serves (prediction-tier hits)
 	degraded atomic.Int64 // rung-3 serves (analytic fallback)
 	shed     atomic.Int64 // requests past every rung
+
+	// Per-tenant latency histograms: how long requests waited for an NN
+	// slot, and end-to-end serve latency split by the ladder rung that
+	// answered. /metrics renders them labeled tenant=... (+ rung=...).
+	histAdmit    *obs.Histogram // admission wait (slot acquire, rungs 1/3 decision)
+	histRungNN   *obs.Histogram // rung-1 end-to-end (full NN path)
+	histRungWarm *obs.Histogram // rung-2 end-to-end (prediction-tier hit)
+	histRungAna  *obs.Histogram // rung-3 end-to-end (analytic fallback)
 }
 
 // Name returns the tenant's name.
@@ -123,6 +133,7 @@ type Registry struct {
 	tenants map[string]*Tenant
 	names   []string // sorted, for deterministic iteration
 	start   time.Time
+	tracer  *obs.Tracer // registry-edge trace ring + slow-query log
 }
 
 // New builds a registry over the given tenants. Each tenant gets its
@@ -138,6 +149,7 @@ func New(opts Options, tenants []Config) (*Registry, error) {
 		opts:    o,
 		tenants: make(map[string]*Tenant, len(tenants)),
 		start:   time.Now(),
+		tracer:  obs.NewTracer(o.Serve.TraceRing, o.Serve.SlowQueryThreshold, os.Stderr),
 	}
 	weights := make([]int, len(tenants))
 	for i, tc := range tenants {
@@ -157,10 +169,14 @@ func New(opts Options, tenants []Config) (*Registry, error) {
 			tc.Est.AttachCache(qcfe.NewQueryCache(copts))
 		}
 		t := &Tenant{
-			name:     tc.Name,
-			weight:   weights[i],
-			srv:      serve.New(tc.Est, o.Serve),
-			analytic: qcfe.AnalyticEstimator(tc.Est.Benchmark(), tc.Est.Environments()),
+			name:         tc.Name,
+			weight:       weights[i],
+			srv:          serve.New(tc.Est, o.Serve),
+			analytic:     qcfe.AnalyticEstimator(tc.Est.Benchmark(), tc.Est.Environments()),
+			histAdmit:    obs.NewHistogram(),
+			histRungNN:   obs.NewHistogram(),
+			histRungWarm: obs.NewHistogram(),
+			histRungAna:  obs.NewHistogram(),
 		}
 		r.tenants[tc.Name] = t
 		r.names = append(r.names, tc.Name)
@@ -217,25 +233,40 @@ func (r *Registry) Estimate(ctx context.Context, tenantName string, envID int, s
 }
 
 func (r *Registry) estimate(ctx context.Context, t *Tenant, envID int, sql string) (float64, bool, error) {
+	t0 := time.Now()
+	tr := obs.TraceFrom(ctx)
 	// Rungs 1–2 share this probe: a memoized prediction is served at
 	// every load level without consuming any admission capacity.
 	if ms, ok, err := t.srv.EstimateCached(envID, sql); err != nil {
 		return 0, false, err
 	} else if ok {
 		t.warm.Add(1)
+		t.histRungWarm.RecordSince(t0)
+		tr.AddSpan("probe", "warm", t0)
 		return ms, false, nil
 	}
+	aStart := time.Now()
 	ok, err := r.adm.acquire(ctx, t.bkt)
+	t.histAdmit.RecordSince(aStart)
 	if err != nil {
 		return 0, false, err
 	}
 	if ok {
+		tr.AddSpan("admit", "nn", aStart)
 		defer r.adm.release(t.bkt)
 		t.admitted.Add(1)
 		ms, err := t.srv.Estimate(ctx, envID, sql)
+		if err == nil {
+			t.histRungNN.RecordSince(t0)
+		}
 		return ms, false, err
 	}
-	return r.analytic(t, envID, sql)
+	tr.AddSpan("admit", "degrade", aStart)
+	ms, degraded, err := r.analytic(t, envID, sql)
+	if err == nil {
+		t.histRungAna.RecordSince(t0)
+	}
+	return ms, degraded, err
 }
 
 // EstimateBatch prices a client-assembled batch for a tenant. An
@@ -248,16 +279,24 @@ func (r *Registry) EstimateBatch(ctx context.Context, tenantName string, envID i
 	if err != nil {
 		return nil, false, err
 	}
+	tr := obs.TraceFrom(ctx)
+	aStart := time.Now()
 	ok, err := r.adm.acquire(ctx, t.bkt)
+	t.histAdmit.RecordSince(aStart)
 	if err != nil {
 		return nil, false, err
 	}
 	if ok {
+		tr.AddSpan("admit", "nn", aStart)
 		defer r.adm.release(t.bkt)
 		t.admitted.Add(1)
 		ms, err := t.srv.EstimateBatch(ctx, envID, sqls)
+		if err == nil {
+			t.histRungNN.RecordSince(aStart)
+		}
 		return ms, false, err
 	}
+	tr.AddSpan("admit", "degrade", aStart)
 	// Overload: serve warm elements from the prediction tier, price the
 	// rest analytically. One analytic slot covers the batch.
 	env, err := t.srv.EnvByID(envID)

@@ -27,6 +27,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pgcost"
 	"repro/internal/planner"
@@ -247,6 +249,9 @@ type CacheOptions = qcache.Options
 
 // CacheStats is a QueryCache counter snapshot.
 type CacheStats = qcache.Stats
+
+// CacheTierStats is one tier's slice of a CacheStats snapshot.
+type CacheTierStats = qcache.TierStats
 
 // NewQueryCache builds an empty query cache. Attach it to an estimator
 // with AttachCache; predictions served through it are bit-identical to
@@ -496,15 +501,25 @@ func (e *CostEstimator) EstimateSQLBatch(env *Environment, sqls []string) ([]flo
 // so are errors: a query that fails to parse or plan is never cached, so
 // the lowest-index failure wins exactly as in the plain fan-out.
 func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environment, sqls []string) ([]float64, error) {
+	// A traced request (internal/obs) gets per-stage spans — featurize
+	// vs predict is exactly the split the pipelined-miss-path work
+	// needs to see. Untraced calls pay one context lookup and nothing
+	// else; span recording never changes results.
+	tr := obs.TraceFrom(ctx)
 	c := e.cache.Load()
 	if c == nil {
+		fstart := time.Now()
 		nodes, err := parallel.MapCtx(ctx, len(sqls), 0, func(i int) (*planner.Node, error) {
 			return planAnnotated(e.bench.ds, env, sqls[i])
 		})
 		if err != nil {
 			return nil, err
 		}
-		return e.res.Model.PredictBatch(nodes), nil
+		tr.AddSpan("featurize", "uncached", fstart)
+		pstart := time.Now()
+		ms := e.res.Model.PredictBatch(nodes)
+		tr.AddSpan("predict", "", pstart)
+		return ms, nil
 	}
 	// Parity with the uncached fan-out, which surfaces cancellation even
 	// when there is nothing to plan: an expired context errors here too,
@@ -515,6 +530,7 @@ func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environmen
 	g := e.cacheGeneration()
 	res := make([]float64, len(sqls))
 	miss := make([]int, 0, len(sqls))
+	probeStart := time.Now()
 	for i, sql := range sqls {
 		if ms, ok := c.GetPrediction(qcache.PredictionKey(env.ID, sql), g); ok {
 			res[i] = ms
@@ -522,20 +538,29 @@ func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environmen
 			miss = append(miss, i)
 		}
 	}
+	if tr != nil {
+		tr.AddSpan("probe", fmt.Sprintf("%d/%d warm", len(sqls)-len(miss), len(sqls)), probeStart)
+	}
 	if len(miss) == 0 {
 		return res, nil
 	}
+	fstart := time.Now()
 	fps, err := parallel.MapCtx(ctx, len(miss), 0, func(k int) (*encoding.FeaturizedPlan, error) {
 		return e.featurizedPlan(c, g, env, sqls[miss[k]])
 	})
 	if err != nil {
 		return nil, err
 	}
+	tr.AddSpan("featurize", "", fstart)
+	pstart := time.Now()
 	ms := e.res.Model.PredictFeaturizedBatch(fps)
+	tr.AddSpan("predict", "", pstart)
+	mstart := time.Now()
 	for k, i := range miss {
 		res[i] = ms[k]
 		c.PutPrediction(qcache.PredictionKey(env.ID, sqls[i]), g, ms[k])
 	}
+	tr.AddSpan("merge", "", mstart)
 	return res, nil
 }
 
