@@ -155,6 +155,41 @@ const (
 	// same -min-warm-speedup floor as ServeWarm: the multi-tenant layer
 	// must not meaningfully tax the warm short-circuit.
 	ServeWarmMultiTenant = "serve/estimate-warm-multitenant"
+	// ServeMissSerial is the streaming-miss anchor: heavily concurrent
+	// single-query requests, every one a fresh literal (misses the
+	// prediction and feature tiers, hits the template tier), through the
+	// serial gather-then-flush coalescer. With more workers than
+	// MaxBatch the queue never empties, so this measures the serial
+	// design's throughput ceiling: one micro-batch prices while nothing
+	// else gathers or predicts.
+	ServeMissSerial = "serve/estimate-miss-serial"
+	// ServeMissPipelined is the same workload through the staged
+	// pipeline (gather → featurize → predict → reply over bounded
+	// exchange channels): stages overlap, so planning fan-out, the NN
+	// kernel, and reply delivery run concurrently. The CI gate requires
+	// this to beat ServeMissSerial by the -min-miss-speedup factor on
+	// multi-core machines (same-run rows, machine speed cancels); the
+	// gate self-skips at GOMAXPROCS=1, where stage overlap has no cores
+	// to run on.
+	ServeMissPipelined = "serve/estimate-miss-pipelined"
+	// ServeMixedTailSerial / ServeMixedTailPipelined report the p99
+	// request latency (ns_per_op is the 99th percentile, not a mean) of
+	// a mixed workload — half warm prediction-tier hits, half fresh-
+	// literal misses — under the serial coalescer and the pipeline.
+	// Informational, not gated: tail latency folds in scheduler timing,
+	// but the pair documents how much head-of-line blocking the serial
+	// design adds to warm requests stuck behind cold batches.
+	ServeMixedTailSerial    = "serve/estimate-mixed-tail-serial"
+	ServeMixedTailPipelined = "serve/estimate-mixed-tail-pipelined"
+	// ServeCoalesceAlloc isolates the coalescer's own per-request
+	// overhead: concurrent requests through the full gather/flush
+	// machinery against a stub estimator whose batch call is free and
+	// allocation-less. What remains is queue handoff, timer reuse,
+	// batch-slice and group-map recycling, and reply delivery — the
+	// AllocGated entry holds its allocs_per_op to no-increase so a
+	// regression that re-introduces per-batch allocations fails CI.
+	ServeCoalesceAlloc = "serve/coalesce-allocs"
+
 	// ServeShedOverload measures the degradation ladder under
 	// saturation: a 32-way flood of cold queries against a registry
 	// carved down to one NN slot, a one-deep queue, and one analytic
@@ -179,6 +214,16 @@ var Gated = []string{MSCNPredictBatch, QPPPredictBatch}
 // the HTTP/fanout rows whose counts fold in scheduler and net/http
 // noise.
 var AllocGated = []string{QCacheHit, ServeWarm, ServeWarmPostSwap, ServeWarmMultiTenant, ObsHistRecord}
+
+// AllocNoIncrease lists rows whose allocs_per_op Compare holds to
+// "no increase vs baseline, plus one alloc of GC jitter" and which are
+// exempt from qcfe-bench's -max-warm-allocs ceiling: the coalesced miss
+// path legitimately costs a few amortized allocations per request (the
+// library batch call), and the gate's job is only to keep that count
+// from creeping back up — e.g. a regression that re-introduces the
+// per-batch timer, batch slice, or grouping map the coalescer now
+// recycles, each worth several allocs per op.
+var AllocNoIncrease = []string{ServeCoalesceAlloc}
 
 var sink float64
 
@@ -303,6 +348,13 @@ func Run() ([]Row, error) {
 		return nil, fmt.Errorf("bench: serve: %w", err)
 	}
 	rows = append(rows, serveRows...)
+
+	pipeRows, err := benchPipeline(artifact, envs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: pipeline: %w", err)
+	}
+	rows = append(rows, pipeRows...)
+	rows = append(rows, benchCoalesceAlloc())
 
 	routerRows, err := benchRouter(artifact, envs[0].ID)
 	if err != nil {
@@ -448,6 +500,204 @@ func benchServe(envs []*dbenv.Environment, samples []workload.Sample) ([]Row, []
 	}
 	rows = append(rows, concurrent(ServeWarmPostSwap))
 	return rows, artifact, nil
+}
+
+// allocStub is a zero-alloc Estimator: a preallocated reply slice and
+// constant answers. Behind it, every allocation the ServeCoalesceAlloc
+// row reports belongs to the serving machinery itself — enqueue,
+// gather, group, flush, reply — not to planning or inference.
+type allocStub struct {
+	envs []*qcfe.Environment
+	ms   []float64
+}
+
+func (s *allocStub) ModelName() string                                        { return "stub" }
+func (s *allocStub) BenchmarkName() string                                    { return "stub" }
+func (s *allocStub) Environments() []*qcfe.Environment                        { return s.envs }
+func (s *allocStub) Generation() uint64                                       { return 1 }
+func (s *allocStub) CachedEstimate(*qcfe.Environment, string) (float64, bool) { return 0, false }
+func (s *allocStub) CacheStats() (qcfe.CacheStats, bool)                      { return qcfe.CacheStats{}, false }
+func (s *allocStub) EstimateSQL(*qcfe.Environment, string) (float64, error)   { return 1, nil }
+func (s *allocStub) EstimateSQLBatchCtx(_ context.Context, _ *qcfe.Environment, sqls []string) ([]float64, error) {
+	return s.ms[:len(sqls)], nil
+}
+
+// benchCoalesceAlloc measures the serial coalescer's own allocations
+// per served request over the zero-alloc stub estimator. The pooled
+// batch slices, reused coalescer scratch (groups map, order, sqls),
+// and reused gather timer should amortize the whole gather→flush→reply
+// cycle to a few small allocations per request; Compare holds this row
+// to no-increase against the baseline (AllocNoIncrease) so pooling
+// regressions surface even though the path can't reach literal zero.
+func benchCoalesceAlloc() Row {
+	stub := &allocStub{envs: []*qcfe.Environment{{ID: 0}}, ms: make([]float64, 64)}
+	srv := serve.New(stub, serve.Options{MaxBatch: 16, BatchWindow: 50 * time.Microsecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Run(ctx)
+
+	const conc = 16
+	return run(ServeCoalesceAlloc, conc, func(tb *testing.B) {
+		tb.ReportAllocs()
+		var wg sync.WaitGroup
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < tb.N; i++ {
+					if _, err := srv.Estimate(ctx, 0, "SELECT 1"); err != nil {
+						panic(fmt.Sprintf("bench: coalesce alloc: %v", err))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+// benchPipeline compares the serial coalescer against the staged
+// pipeline on the workload the pipeline exists for: streaming misses
+// under heavy concurrency. Each mode gets its own server over an
+// estimator loaded from the same artifact bytes with a fresh query
+// cache. Load is open-ended relative to the batch size (conc=64
+// workers against MaxBatch=16), so the queue never drains between
+// flushes: the serial design serializes featurize and predict inside
+// one goroutine while gathered requests wait, and the pipeline's gain
+// is exactly that overlap. On a single-core machine there is nothing
+// to overlap onto and the two rows converge — which is why the
+// -min-miss-speedup gate self-skips below GOMAXPROCS=2.
+//
+// The mixed-tail rows then interleave warm hits (primed per worker)
+// with cold misses 1:1 and report the p99 request latency in ns_per_op
+// (Iters = total requests measured): the warm-behind-cold
+// head-of-line-blocking number the paper's feature-engineering
+// argument cares about.
+func benchPipeline(artifact []byte, envs []*dbenv.Environment) ([]Row, error) {
+	newSrv := func(opts serve.Options) (*serve.Server, context.CancelFunc, error) {
+		est, err := qcfe.LoadEstimator(bytes.NewReader(artifact))
+		if err != nil {
+			return nil, nil, err
+		}
+		est.AttachCache(qcfe.NewQueryCache(qcfe.CacheOptions{}))
+		srv := serve.New(est, opts)
+		ctx, cancel := context.WithCancel(context.Background())
+		go srv.Run(ctx)
+		return srv, cancel, nil
+	}
+	serialOpts := serve.Options{MaxBatch: 16, BatchWindow: 200 * time.Microsecond}
+	pipeOpts := serialOpts
+	pipeOpts.PipelineDepth = 4
+	pipeOpts.FeaturizeWorkers = 2
+	pipeOpts.PredictWorkers = 2
+
+	const conc = 64
+	var ctr atomic.Int64
+	fresh := func() string {
+		// Never-seen literal: misses the prediction and feature tiers
+		// every time, hits the template tier after the first op.
+		return fmt.Sprintf("SELECT COUNT(*) FROM lineitem WHERE l_quantity < %d", ctr.Add(1))
+	}
+
+	missRow := func(name string, opts serve.Options) (Row, error) {
+		srv, stop, err := newSrv(opts)
+		if err != nil {
+			return Row{}, err
+		}
+		defer stop()
+		// Prime the template tier so steady state measures the
+		// featurize+predict miss, not first-touch parsing.
+		if _, err := srv.Estimate(context.Background(), envs[0].ID, fresh()); err != nil {
+			return Row{}, err
+		}
+		return run(name, conc, func(tb *testing.B) {
+			tb.ReportAllocs()
+			var wg sync.WaitGroup
+			for c := 0; c < conc; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					env := envs[c%len(envs)]
+					for i := 0; i < tb.N; i++ {
+						if _, err := srv.Estimate(context.Background(), env.ID, fresh()); err != nil {
+							panic(fmt.Sprintf("bench: %s: %v", name, err))
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		}), nil
+	}
+
+	mixedRow := func(name string, opts serve.Options) (Row, error) {
+		srv, stop, err := newSrv(opts)
+		if err != nil {
+			return Row{}, err
+		}
+		defer stop()
+		// One warm query per worker, primed through the server so it
+		// lands in the prediction tier under the serving generation.
+		warm := make([]string, conc)
+		for c := range warm {
+			warm[c] = fmt.Sprintf("SELECT COUNT(*) FROM lineitem WHERE l_quantity < %d", 1_000_000+c)
+			if _, err := srv.Estimate(context.Background(), envs[c%len(envs)].ID, warm[c]); err != nil {
+				return Row{}, err
+			}
+		}
+		const perWorker = 200
+		lats := make([][]int64, conc)
+		var wg sync.WaitGroup
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				env := envs[c%len(envs)]
+				buf := make([]int64, 0, perWorker)
+				for i := 0; i < perWorker; i++ {
+					sql := warm[c]
+					if i%2 == 1 {
+						sql = fresh()
+					}
+					t0 := time.Now()
+					if _, err := srv.Estimate(context.Background(), env.ID, sql); err != nil {
+						panic(fmt.Sprintf("bench: %s: %v", name, err))
+					}
+					buf = append(buf, time.Since(t0).Nanoseconds())
+				}
+				lats[c] = buf
+			}(c)
+		}
+		wg.Wait()
+		var all []int64
+		for _, b := range lats {
+			all = append(all, b...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		idx := len(all) * 99 / 100
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		return Row{Name: name, Iters: len(all), NsPerOp: float64(all[idx])}, nil
+	}
+
+	var rows []Row
+	for _, m := range []struct {
+		miss, mixed string
+		opts        serve.Options
+	}{
+		{ServeMissSerial, ServeMixedTailSerial, serialOpts},
+		{ServeMissPipelined, ServeMixedTailPipelined, pipeOpts},
+	} {
+		r, err := missRow(m.miss, m.opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+		if r, err = mixedRow(m.mixed, m.opts); err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
 }
 
 // benchRouter measures the distributed serving path: three replicas
@@ -702,6 +952,16 @@ func PostRolloutWarmSpeedup(rows []Row) (float64, error) {
 	return Speedup(rows, RouterFanout, RouterWarmPostRollout)
 }
 
+// MissPipelineSpeedup returns how many times faster the streaming-miss
+// workload moves through the staged pipeline than through the serial
+// coalescer — same run, same artifact, so machine speed cancels.
+// qcfe-bench gates it with -min-miss-speedup on multi-core machines;
+// at GOMAXPROCS=1 the stages have no second core to overlap on and the
+// gate self-skips.
+func MissPipelineSpeedup(rows []Row) (float64, error) {
+	return Speedup(rows, ServeMissSerial, ServeMissPipelined)
+}
+
 // benchCalib is the machine-speed proxy the regression gate normalizes
 // by. It deliberately mixes the three resources the gated rows spend —
 // a serially-dependent multiply-add chain (the dot-product bottleneck),
@@ -882,6 +1142,28 @@ func Compare(baseline, current []Row, tol float64) error {
 		if c.AllocsPerOp > b.AllocsPerOp {
 			regressed = append(regressed, fmt.Sprintf(
 				"%s: %d allocs/op vs baseline %d — allocation regression (counts are machine-independent; zero tolerance)",
+				name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	// AllocNoIncrease rows sit near-but-not-at zero: their residual
+	// allocs/op amortize sync.Pool misses, so a GC cycle emptying a pool
+	// mid-run can nudge the count by one on a different machine. Allow
+	// exactly that one alloc of jitter — a lost pooling optimization
+	// (the regression this gate exists for) adds several allocs per op,
+	// not one.
+	for _, name := range AllocNoIncrease {
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			regressed = append(regressed, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp+1 {
+			regressed = append(regressed, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d — pooling regression (counts are machine-independent; tolerance is 1 alloc of GC jitter)",
 				name, c.AllocsPerOp, b.AllocsPerOp))
 		}
 	}

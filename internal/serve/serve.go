@@ -109,6 +109,25 @@ type Options struct {
 	SlowQueryThreshold time.Duration
 	// TraceRing bounds the /trace/recent ring buffer (default 256).
 	TraceRing int
+	// PipelineDepth, when positive, runs the miss path as a pipeline of
+	// bounded concurrent stages (gather → featurize → predict → reply)
+	// instead of the serial gather-then-flush loop, and sets the
+	// capacity of each exchange channel between stages. The batcher then
+	// returns to gathering the instant a batch is handed off, so the
+	// batch window overlaps with pricing instead of alternating with it.
+	// Zero (the default) keeps the serial coalescer. Results are
+	// bit-identical either way; only latency shape changes.
+	PipelineDepth int
+	// FeaturizeWorkers bounds the concurrent parse/plan/featurize stage
+	// workers when the pipeline is enabled (default 2). Each worker
+	// prices one micro-batch's front half at a time; the library
+	// additionally fans planning out across cores inside one call.
+	FeaturizeWorkers int
+	// PredictWorkers bounds the concurrent batched-inference stage
+	// workers when the pipeline is enabled (default 1: the NN kernel
+	// runs batches back to back, which is already its throughput-optimal
+	// shape). Values >1 are safe — inference is stateless per call.
+	PredictWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -120,6 +139,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 1024
+	}
+	if o.PipelineDepth < 0 {
+		o.PipelineDepth = 0
+	}
+	if o.PipelineDepth > 0 {
+		if o.FeaturizeWorkers <= 0 {
+			o.FeaturizeWorkers = 2
+		}
+		if o.PredictWorkers <= 0 {
+			o.PredictWorkers = 1
+		}
 	}
 	return o
 }
@@ -235,6 +265,8 @@ type Server struct {
 	histWarm      *obs.Histogram // Estimate/EstimateCached warm prediction-tier hits
 	histQueueWait *obs.Histogram // enqueue → batcher pickup (coalescing wait)
 	histFlush     *obs.Histogram // whole coalesced micro-batch flushes
+	histStageFeat *obs.Histogram // pipelined featurize-stage wall time per env group
+	histStagePred *obs.Histogram // pipelined predict-stage wall time per env group
 	histCacheTpl  *obs.Histogram // qcache template-tier lookups
 	histCacheFeat *obs.Histogram // qcache feature-tier lookups
 	histCachePred *obs.Histogram // qcache prediction-tier lookups
@@ -253,6 +285,8 @@ func New(est Estimator, opts Options) *Server {
 		histWarm:      obs.NewHistogram(),
 		histQueueWait: obs.NewHistogram(),
 		histFlush:     obs.NewHistogram(),
+		histStageFeat: obs.NewHistogram(),
+		histStagePred: obs.NewHistogram(),
 		histCacheTpl:  obs.NewHistogram(),
 		histCacheFeat: obs.NewHistogram(),
 		histCachePred: obs.NewHistogram(),
@@ -309,9 +343,14 @@ func (s *Server) SetMonitor(m Monitor) { s.monitor = m }
 
 // Run drains the coalescing queue until ctx is cancelled, then fails any
 // still-pending requests with ctx's error and returns it. It is the
-// server's only background goroutine; call it exactly once, typically
-// via `go srv.Run(ctx)`.
+// server's batcher goroutine; call it exactly once, typically via
+// `go srv.Run(ctx)`. With Options.PipelineDepth > 0 it instead runs the
+// staged pipeline (see pipeline.go): same results, overlapped stages.
 func (s *Server) Run(ctx context.Context) error {
+	if s.opts.PipelineDepth > 0 {
+		return s.runPipelined(ctx)
+	}
+	co := newCoalescer()
 	for {
 		// Shutdown takes priority over pending work: once ctx is
 		// cancelled, queued requests fail fast instead of racing the
@@ -325,15 +364,85 @@ func (s *Server) Run(ctx context.Context) error {
 			s.drainFailed(ctx.Err())
 			return ctx.Err()
 		case first := <-s.queue:
-			s.flush(ctx, s.gather(ctx, first))
+			batch := s.gather(ctx, co, first)
+			s.flush(ctx, co, batch)
+			putBatch(batch)
 		}
 	}
 }
 
+// coalescer owns one batcher loop's reusable gather/flush scratch so a
+// steady stream of micro-batches allocates nothing per batch: the batch
+// window timer is Reset instead of re-made, and the env-grouping map,
+// group-order slice, and SQL scratch are cleared and reused. It is
+// confined to the goroutine that created it (the serial batcher, or one
+// featurize-stage worker in pipelined mode).
+type coalescer struct {
+	timer  *time.Timer
+	groups map[int][]*request
+	order  []int
+	sqls   []string
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{groups: make(map[int][]*request)}
+}
+
+// groupBatch splits a gathered batch by environment ID, preserving
+// arrival order within each group; co.order lists the group keys in
+// first-arrival order. The groups alias coalescer-owned scratch — they
+// are valid until the next groupBatch/resetGroups call.
+func (co *coalescer) groupBatch(batch []*request) {
+	co.order = co.order[:0]
+	for _, r := range batch {
+		id := r.env.ID
+		g, ok := co.groups[id]
+		if !ok || len(g) == 0 {
+			co.order = append(co.order, id)
+		}
+		co.groups[id] = append(g, r)
+	}
+}
+
+// resetGroups empties the grouping scratch, dropping request references
+// so pooled requests aren't retained past their reply.
+func (co *coalescer) resetGroups() {
+	for _, id := range co.order {
+		g := co.groups[id]
+		for i := range g {
+			g[i] = nil
+		}
+		co.groups[id] = g[:0]
+	}
+	co.order = co.order[:0]
+}
+
+// batchPool recycles the gathered-batch slices; putBatch drops the
+// request references before pooling so requests don't outlive their
+// reply.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]*request, 0, 64)
+		return &b
+	},
+}
+
+func getBatch() []*request { return (*batchPool.Get().(*[]*request))[:0] }
+
+func putBatch(b []*request) {
+	for i := range b {
+		b[i] = nil
+	}
+	b = b[:0]
+	batchPool.Put(&b)
+}
+
 // gather collects one micro-batch: the first request plus whatever else
-// arrives within BatchWindow, capped at MaxBatch.
-func (s *Server) gather(ctx context.Context, first *request) []*request {
-	batch := []*request{first}
+// arrives within BatchWindow, capped at MaxBatch. The returned slice
+// comes from batchPool; the caller releases it with putBatch once the
+// requests have been handed on.
+func (s *Server) gather(ctx context.Context, co *coalescer, first *request) []*request {
+	batch := append(getBatch(), first)
 	if s.opts.BatchWindow < 0 {
 		// Immediate mode: take only what is already pending.
 		for len(batch) < s.opts.MaxBatch {
@@ -346,13 +455,26 @@ func (s *Server) gather(ctx context.Context, first *request) []*request {
 		}
 		return batch
 	}
-	timer := time.NewTimer(s.opts.BatchWindow)
-	defer timer.Stop()
+	if co.timer == nil {
+		co.timer = time.NewTimer(s.opts.BatchWindow)
+	} else {
+		// The timer is stopped-and-drained before every return below, so
+		// its channel is provably empty here and Reset cannot race a
+		// stale tick (pre-Go 1.23 timer semantics).
+		co.timer.Reset(s.opts.BatchWindow)
+	}
+	fired := false
+	defer func() {
+		if !fired && !co.timer.Stop() {
+			<-co.timer.C
+		}
+	}()
 	for len(batch) < s.opts.MaxBatch {
 		select {
 		case r := <-s.queue:
 			batch = append(batch, r)
-		case <-timer.C:
+		case <-co.timer.C:
+			fired = true
 			return batch
 		case <-ctx.Done():
 			return batch
@@ -367,7 +489,7 @@ func (s *Server) gather(ctx context.Context, first *request) []*request {
 // one malformed query fails a whole library batch — falls back to
 // per-request estimation so errors stay isolated to the requests that
 // caused them.
-func (s *Server) flush(ctx context.Context, batch []*request) {
+func (s *Server) flush(ctx context.Context, co *coalescer, batch []*request) {
 	// One estimator snapshot per flush: every reply in this micro-batch
 	// is computed wholly by one model, even if a hot swap lands mid-way.
 	est := s.Estimator()
@@ -384,23 +506,15 @@ func (s *Server) flush(ctx context.Context, batch []*request) {
 		s.histQueueWait.RecordSince(r.enq)
 		r.tr.AddSpan("queue_wait", "", r.enq)
 	}
-	// Group by environment ID, preserving order: order indexes the
-	// batch's requests per group.
-	groups := make(map[int][]*request)
-	var order []int
-	for _, r := range batch {
-		id := r.env.ID
-		if _, ok := groups[id]; !ok {
-			order = append(order, id)
+	co.groupBatch(batch)
+	defer co.resetGroups()
+	for _, id := range co.order {
+		group := co.groups[id]
+		sqls := co.sqls[:0]
+		for _, r := range group {
+			sqls = append(sqls, r.sql)
 		}
-		groups[id] = append(groups[id], r)
-	}
-	for _, id := range order {
-		group := groups[id]
-		sqls := make([]string, len(group))
-		for i, r := range group {
-			sqls[i] = r.sql
-		}
+		co.sqls = sqls // keep the grown capacity for the next group/flush
 		groupStart := time.Now()
 		ms, err := est.EstimateSQLBatchCtx(ctx, group[0].env, sqls)
 		if err == nil {

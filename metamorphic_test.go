@@ -1,6 +1,7 @@
 package qcfe
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -83,6 +84,59 @@ func TestMetamorphicBatchPermutation(t *testing.T) {
 	}
 	check("uncached")
 	est.AttachCache(NewQueryCache(CacheOptions{Shards: 4, Capacity: 64})) // small: forces evictions mid-batch
+	check("cached-cold")
+	check("cached-warm")
+}
+
+// TestMetamorphicStagedSplit: the two-phase batch API the pipelined
+// server drives — FeaturizeSQLBatchCtx then PredictFeaturized — is
+// bitwise the fused EstimateSQLBatch under permutation and duplication,
+// uncached, cache-cold, and cache-warm. This is the library half of the
+// serve-layer pipeline contract: splitting the call across stage
+// workers may change when work happens, never what it computes.
+func TestMetamorphicStagedSplit(t *testing.T) {
+	est, _ := trainedFixture(t, "mscn")
+	env := est.Environments()[0]
+	queries := cacheQueries(20)
+
+	sqlBase := make([]float64, len(queries))
+	for i, q := range queries {
+		var err error
+		if sqlBase[i], err = est.EstimateSQL(env, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(23))
+	check := func(label string) {
+		for trial := 0; trial < 3; trial++ {
+			perm := rng.Perm(len(queries))
+			var batch []string
+			var want []float64
+			for i, p := range perm {
+				batch = append(batch, queries[p])
+				want = append(want, sqlBase[p])
+				if i%3 == 0 {
+					batch = append(batch, queries[p])
+					want = append(want, sqlBase[p])
+				}
+			}
+			fb, err := est.FeaturizeSQLBatchCtx(context.Background(), env, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w, m := fb.Warm(), fb.Misses(); w+m != len(batch) {
+				t.Fatalf("%s trial %d: warm %d + misses %d != batch %d", label, trial, w, m, len(batch))
+			}
+			got := est.PredictFeaturized(fb)
+			for i := range batch {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d: staged batch[%d] (%q) = %v, want fused %v", label, trial, i, batch[i], got[i], want[i])
+				}
+			}
+		}
+	}
+	check("uncached")
+	est.AttachCache(NewQueryCache(CacheOptions{Shards: 4, Capacity: 64}))
 	check("cached-cold")
 	check("cached-warm")
 }

@@ -500,11 +500,64 @@ func (e *CostEstimator) EstimateSQLBatch(env *Environment, sqls []string) ([]flo
 // batched inference. Results are bit-identical to the uncached path, and
 // so are errors: a query that fails to parse or plan is never cached, so
 // the lowest-index failure wins exactly as in the plain fan-out.
+//
+// The call is exactly FeaturizeSQLBatchCtx followed by PredictFeaturized;
+// the pipelined serving path invokes the two halves from different stage
+// workers and is therefore bit-identical to this composition by
+// construction.
 func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environment, sqls []string) ([]float64, error) {
-	// A traced request (internal/obs) gets per-stage spans — featurize
-	// vs predict is exactly the split the pipelined-miss-path work
-	// needs to see. Untraced calls pay one context lookup and nothing
-	// else; span recording never changes results.
+	fb, err := e.FeaturizeSQLBatchCtx(ctx, env, sqls)
+	if err != nil {
+		return nil, err
+	}
+	return e.PredictFeaturized(fb), nil
+}
+
+// FeaturizedBatch is the output of FeaturizeSQLBatchCtx: a batch of
+// queries carried through the front half (probe + parse/plan/featurize)
+// and ready for batched inference. It pins the cache and generation
+// observed at featurize time, so a hot swap landing between the two
+// halves cannot mix artifacts within one batch: PredictFeaturized writes
+// back under the pinned generation and the swapped-in cache's bumped
+// generation makes those writes invisible, exactly as with the fused
+// EstimateSQLBatchCtx.
+type FeaturizedBatch struct {
+	env   *Environment
+	sqls  []string
+	cache *qcache.QueryCache // nil on the uncached path
+	gen   uint64
+	res   []float64                  // warm values at their original indexes (cached path)
+	miss  []int                      // indexes into sqls that missed the prediction tier
+	nodes []*planner.Node            // uncached path: annotated plans, one per query
+	fps   []*encoding.FeaturizedPlan // cached path: featurized plans, one per miss
+	tr    *obs.Trace
+}
+
+// Warm reports how many of the batch's queries were answered from the
+// prediction tier during the front half (always 0 without a cache).
+func (fb *FeaturizedBatch) Warm() int { return len(fb.sqls) - fb.Misses() }
+
+// Misses reports how many queries still need inference.
+func (fb *FeaturizedBatch) Misses() int {
+	if fb.cache == nil {
+		return len(fb.nodes)
+	}
+	return len(fb.miss)
+}
+
+// FeaturizeSQLBatchCtx runs the front half of EstimateSQLBatchCtx —
+// prediction-tier probe, then the cache-aware parse/plan/featurize
+// fan-out for the misses — and returns the batch ready for
+// PredictFeaturized. Splitting the halves lets a pipelined server keep
+// featurizing the next batch while this one is in the NN kernel.
+//
+// A traced request (internal/obs) gets per-stage spans — featurize vs
+// predict is exactly the split the pipelined miss path needs to see.
+// Untraced calls pay one context lookup and nothing else; span recording
+// never changes results. The trace is captured into the batch so the
+// back half records its spans even when invoked with a different
+// context.
+func (e *CostEstimator) FeaturizeSQLBatchCtx(ctx context.Context, env *Environment, sqls []string) (*FeaturizedBatch, error) {
 	tr := obs.TraceFrom(ctx)
 	c := e.cache.Load()
 	if c == nil {
@@ -516,10 +569,7 @@ func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environmen
 			return nil, err
 		}
 		tr.AddSpan("featurize", "uncached", fstart)
-		pstart := time.Now()
-		ms := e.res.Model.PredictBatch(nodes)
-		tr.AddSpan("predict", "", pstart)
-		return ms, nil
+		return &FeaturizedBatch{env: env, sqls: sqls, nodes: nodes, tr: tr}, nil
 	}
 	// Parity with the uncached fan-out, which surfaces cancellation even
 	// when there is nothing to plan: an expired context errors here too,
@@ -528,40 +578,63 @@ func (e *CostEstimator) EstimateSQLBatchCtx(ctx context.Context, env *Environmen
 		return nil, err
 	}
 	g := e.cacheGeneration()
-	res := make([]float64, len(sqls))
-	miss := make([]int, 0, len(sqls))
+	fb := &FeaturizedBatch{env: env, sqls: sqls, cache: c, gen: g, tr: tr}
+	fb.res = make([]float64, len(sqls))
+	fb.miss = make([]int, 0, len(sqls))
 	probeStart := time.Now()
 	for i, sql := range sqls {
 		if ms, ok := c.GetPrediction(qcache.PredictionKey(env.ID, sql), g); ok {
-			res[i] = ms
+			fb.res[i] = ms
 		} else {
-			miss = append(miss, i)
+			fb.miss = append(fb.miss, i)
 		}
 	}
 	if tr != nil {
-		tr.AddSpan("probe", fmt.Sprintf("%d/%d warm", len(sqls)-len(miss), len(sqls)), probeStart)
+		tr.AddSpan("probe", fmt.Sprintf("%d/%d warm", len(sqls)-len(fb.miss), len(sqls)), probeStart)
 	}
-	if len(miss) == 0 {
-		return res, nil
+	if len(fb.miss) == 0 {
+		return fb, nil
 	}
 	fstart := time.Now()
-	fps, err := parallel.MapCtx(ctx, len(miss), 0, func(k int) (*encoding.FeaturizedPlan, error) {
-		return e.featurizedPlan(c, g, env, sqls[miss[k]])
+	fps, err := parallel.MapCtx(ctx, len(fb.miss), 0, func(k int) (*encoding.FeaturizedPlan, error) {
+		return e.featurizedPlan(c, g, env, sqls[fb.miss[k]])
 	})
 	if err != nil {
 		return nil, err
 	}
 	tr.AddSpan("featurize", "", fstart)
-	pstart := time.Now()
-	ms := e.res.Model.PredictFeaturizedBatch(fps)
-	tr.AddSpan("predict", "", pstart)
-	mstart := time.Now()
-	for k, i := range miss {
-		res[i] = ms[k]
-		c.PutPrediction(qcache.PredictionKey(env.ID, sqls[i]), g, ms[k])
+	fb.fps = fps
+	return fb, nil
+}
+
+// PredictFeaturized runs the back half: batched inference over the
+// featurized misses, merged with the warm probe results, and the
+// write-back into the prediction tier under the batch's pinned
+// generation. It is pure compute — no context, cannot fail — which is
+// what lets a pipelined server drain in-flight batches on shutdown.
+//
+// The batch must come from this estimator's FeaturizeSQLBatchCtx;
+// results are then bit-identical to the fused EstimateSQLBatchCtx.
+func (e *CostEstimator) PredictFeaturized(fb *FeaturizedBatch) []float64 {
+	if fb.cache == nil {
+		pstart := time.Now()
+		ms := e.res.Model.PredictBatch(fb.nodes)
+		fb.tr.AddSpan("predict", "", pstart)
+		return ms
 	}
-	tr.AddSpan("merge", "", mstart)
-	return res, nil
+	if len(fb.miss) == 0 {
+		return fb.res
+	}
+	pstart := time.Now()
+	ms := e.res.Model.PredictFeaturizedBatch(fb.fps)
+	fb.tr.AddSpan("predict", "", pstart)
+	mstart := time.Now()
+	for k, i := range fb.miss {
+		fb.res[i] = ms[k]
+		fb.cache.PutPrediction(qcache.PredictionKey(fb.env.ID, fb.sqls[i]), fb.gen, ms[k])
+	}
+	fb.tr.AddSpan("merge", "", mstart)
+	return fb.res
 }
 
 // Evaluate computes q-error and correlation metrics on test samples.
